@@ -1,0 +1,102 @@
+// Ablation (§4.2, "Number of pending tasks"): the paper notes that tasks
+// with dependencies allow skipping progress polls for tasks whose
+// prerequisites are incomplete, and recommends applications manage that
+// structure themselves (§4.3). Three ways to run N sequentially-dependent
+// deadline tasks:
+//
+//   hooks  — N independent MPIX_Async hooks (no structure): every progress
+//            call polls all N poll functions, Fig. 7's O(N) regime
+//   graph  — one TaskGraph hook polling only the READY frontier (size 1
+//            here): O(frontier) per progress call
+//   queue  — the Listing 1.4 task-class FIFO polling only the head: O(1)
+//
+// Expect hooks to degrade with N while graph and queue stay flat.
+#include "bench_util.hpp"
+#include "mpx/task/graph.hpp"
+#include "mpx/task/task_queue.hpp"
+
+namespace {
+
+using namespace mpx;
+
+enum class Mode : int { hooks = 0, graph = 1, queue = 2 };
+
+void BM_DependentTasks(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Mode mode = static_cast<Mode>(state.range(1));
+  auto world = World::create(WorldConfig{.nranks = 1});
+  const Stream s = world->null_stream(0);
+  base::LatencyRecorder rec;
+  const double horizon = 2e-3;
+  const double interval = horizon / n;
+
+  for (auto _ : state) {
+    const double base = world->wtime();
+    auto deadline_at = [&](int i) { return base + interval * (i + 1); };
+    auto poll_of = [&](int i) {
+      // Task i "completes" at its deadline; records observation latency.
+      return [&world, &rec, due = deadline_at(i)]() -> AsyncResult {
+        const double now = world->wtime();
+        if (now < due) return AsyncResult::pending;
+        rec.add(now - due);
+        return AsyncResult::done;
+      };
+    };
+    switch (mode) {
+      case Mode::hooks: {
+        std::atomic<int> left{n};
+        for (int i = 0; i < n; ++i) {
+          async_start(
+              [p = poll_of(i), &left]() -> AsyncResult {
+                const AsyncResult r = p();
+                if (r == AsyncResult::done) left.fetch_sub(1);
+                return r;
+              },
+              s);
+        }
+        while (left.load(std::memory_order_relaxed) > 0) stream_progress(s);
+        break;
+      }
+      case Mode::graph: {
+        task::TaskGraph g;
+        task::TaskGraph::NodeId prev = 0;
+        for (int i = 0; i < n; ++i) {
+          prev = i == 0 ? g.add(poll_of(i))
+                        : g.add(poll_of(i), {prev});
+        }
+        g.launch(s);
+        g.wait(s);
+        break;
+      }
+      case Mode::queue: {
+        task::TaskQueue q(s);
+        for (int i = 0; i < n; ++i) {
+          q.push([p = poll_of(i)] { return p() == AsyncResult::done; });
+        }
+        q.drain();
+        break;
+      }
+    }
+  }
+  mpx_bench::report_latency(state, rec);
+  switch (mode) {
+    case Mode::hooks: state.SetLabel("independent_hooks"); break;
+    case Mode::graph: state.SetLabel("task_graph_frontier"); break;
+    case Mode::queue: state.SetLabel("task_class_queue"); break;
+  }
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int mode : {0, 1, 2}) {
+    for (int n : {16, 256, 4096}) b->Args({n, mode});
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DependentTasks)
+    ->Apply(Args)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Shared benchmark helpers. The paper's metric (§4) is PROGRESS LATENCY:
+// the mean elapsed time between a task's completion (its deadline) and the
+// moment a progress poll observes it. Deadline dummy tasks (task/deadline)
+// measure it directly. Wall-clock timing from google-benchmark is reported
+// alongside, but the latency counters are the figures' y-axes.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <random>
+
+#include "mpx/base/stats.hpp"
+#include "mpx/mpx.hpp"
+#include "mpx/task/deadline.hpp"
+
+namespace mpx_bench {
+
+/// Attach a latency summary to the benchmark's counter set.
+inline void report_latency(benchmark::State& state,
+                           const mpx::base::LatencyRecorder& rec) {
+  const auto s = rec.summarize();
+  state.counters["lat_mean_us"] = s.trimmed_mean_us;  // robust mean (99%)
+  state.counters["lat_mean_raw_us"] = s.mean_us;
+  state.counters["lat_p50_us"] = s.p50_us;
+  state.counters["lat_p99_us"] = s.p99_us;
+  state.counters["samples"] = static_cast<double>(s.count);
+}
+
+/// One batch of the paper's §4.1 experiment: launch `n` dummy tasks with
+/// deadlines uniform in (0, horizon_s], then spin stream progress until all
+/// complete, recording observation latency per task.
+inline void run_dummy_batch(mpx::World& world, const mpx::Stream& stream,
+                            int n, double horizon_s,
+                            mpx::base::LatencyRecorder& rec,
+                            std::mt19937& rng) {
+  std::uniform_real_distribution<double> dist(horizon_s * 1e-3, horizon_s);
+  std::atomic<int> counter{n};
+  const double now = world.wtime();
+  for (int i = 0; i < n; ++i) {
+    mpx::task::add_dummy_task_abs(stream, now + dist(rng), &counter, &rec);
+  }
+  while (counter.load(std::memory_order_relaxed) > 0) {
+    mpx::stream_progress(stream);
+  }
+}
+
+}  // namespace mpx_bench

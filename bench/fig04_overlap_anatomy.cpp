@@ -1,0 +1,122 @@
+// Figures 1-4 (anatomy): quantifies the paper's computation/communication
+// overlap analysis on the simulated NIC in SIMULATED time (virtual clock),
+// so the single-core container cannot distort the result.
+//
+// Scenario: rank 0 sends one message to rank 1, then "computes" for C us.
+// The receiver's node always progresses (it is a separate machine in the
+// simulation); whether the SENDER progresses during its compute phase is the
+// experiment:
+//
+//   blocking      — send completes fully, then compute (no overlap)
+//   isend+no-prog — Fig. 4(c): nonblocking start, no progress until wait;
+//                   a rendezvous message cannot advance past the first wait
+//                   block, so the bulk transfer is serialized after compute
+//   isend+prog    — sender progresses during compute (what a progress
+//                   engine provides): transfer overlaps compute fully
+//
+// For an EAGER-sized message the no-progress case already overlaps well
+// (one wait block, Fig. 4(b)); for a RENDEZVOUS-sized message the missing
+// progress destroys the overlap — exactly the paper's Fig. 4 argument.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "mpx/mpx.hpp"
+
+namespace {
+
+using namespace mpx;
+
+struct Result {
+  double total_us;
+  double overlap_pct;  // fraction of the ideal saving realized
+};
+
+constexpr double kStep = 1e-6;  // simulation step: 1 us
+
+/// Advance simulated time until `req` completes. The receiver always
+/// progresses; the sender progresses only when sender_prog is true.
+double drain(World& w, Request& req, Request& rreq, bool sender_prog) {
+  while (!req.is_complete() || !rreq.is_complete()) {
+    w.virtual_clock()->advance(kStep);
+    stream_progress(w.null_stream(1));
+    if (sender_prog) stream_progress(w.null_stream(0));
+    if (!sender_prog) {
+      // Sender only polls its own completion the old-fashioned way: in the
+      // final wait. Receiver-side completion still needs receiver progress.
+      stream_progress(w.null_stream(0));
+    }
+  }
+  return w.wtime();
+}
+
+Result run_case(std::size_t bytes, double compute_us, bool blocking,
+                bool sender_prog_during_compute) {
+  WorldConfig cfg;
+  cfg.nranks = 2;
+  cfg.ranks_per_node = 1;
+  cfg.use_virtual_clock = true;
+  auto w = World::create(cfg);
+
+  std::vector<std::byte> src(bytes), dst(bytes);
+  Comm c0 = w->comm_world(0);
+  Comm c1 = w->comm_world(1);
+  const double t0 = w->wtime();
+
+  Request rreq = c1.irecv(dst.data(), bytes, dtype::Datatype::byte(), 0, 0);
+  Request sreq = c0.isend(src.data(), bytes, dtype::Datatype::byte(), 1, 0);
+
+  if (blocking) {
+    drain(*w, sreq, rreq, true);  // complete the send first
+    w->virtual_clock()->advance(compute_us * 1e-6);  // then compute
+  } else {
+    // Compute for compute_us of simulated time. The receiver's node keeps
+    // progressing; the sender progresses only if the remedy is active.
+    const double compute_end = w->wtime() + compute_us * 1e-6;
+    while (w->wtime() < compute_end) {
+      w->virtual_clock()->advance(kStep);
+      stream_progress(w->null_stream(1));
+      if (sender_prog_during_compute) stream_progress(w->null_stream(0));
+    }
+    drain(*w, sreq, rreq, true);  // the final wait
+  }
+  Result r;
+  r.total_us = (w->wtime() - t0) * 1e6;
+  return r;
+}
+
+void run_size(const char* label, std::size_t bytes, double compute_us) {
+  const Result blk = run_case(bytes, compute_us, true, false);
+  const Result noprog = run_case(bytes, compute_us, false, false);
+  const Result prog = run_case(bytes, compute_us, false, true);
+  const double comm_us = blk.total_us - compute_us;
+  auto overlap = [&](double total) {
+    // 100% = all of min(comm, compute) hidden; 0% = fully serialized.
+    const double ideal = blk.total_us - std::min(comm_us, compute_us);
+    const double denom = blk.total_us - ideal;
+    return denom <= 0 ? 100.0 : 100.0 * (blk.total_us - total) / denom;
+  };
+  std::printf("%-10s %10zu %12.1f %12.1f %12.1f %12.1f %9.0f%% %9.0f%%\n",
+              label, bytes, compute_us, blk.total_us, noprog.total_us,
+              prog.total_us, overlap(noprog.total_us),
+              overlap(prog.total_us));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fig. 1-4 anatomy: sender-side overlap in SIMULATED time\n"
+      "%-10s %10s %12s %12s %12s %12s %10s %10s\n",
+      "mode", "bytes", "compute_us", "blocking_us", "noprog_us", "prog_us",
+      "ovl_noprog", "ovl_prog");
+  // Eager message (single wait block, Fig. 4b): overlap survives without
+  // explicit progress.
+  run_size("eager", 32 * 1024, 200.0);
+  // Rendezvous message (two wait blocks, Fig. 4c): without progress the
+  // overlap is lost; with progress it is recovered.
+  run_size("rndv", 1024 * 1024, 200.0);
+  // Larger-than-pipeline message (many wait blocks).
+  run_size("pipeline", 4 * 1024 * 1024, 600.0);
+  return 0;
+}

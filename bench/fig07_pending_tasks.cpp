@@ -1,0 +1,36 @@
+// Figure 7: "Latency overhead in microseconds as the number of pending
+// async tasks increases."
+//
+// N independent dummy tasks each register their own MPIX_Async hook, so
+// every progress call polls all N poll functions; the mean observation
+// latency therefore grows with N. The paper reports < 0.5 us overhead below
+// 32 pending tasks and linear growth beyond.
+#include "bench_util.hpp"
+
+namespace {
+
+void BM_PendingTasks(benchmark::State& state) {
+  const int n_tasks = static_cast<int>(state.range(0));
+  auto world = mpx::World::create(mpx::WorldConfig{.nranks = 1});
+  const mpx::Stream stream = world->null_stream(0);
+  mpx::base::LatencyRecorder rec;
+  std::mt19937 rng(12345);
+
+  // Deadlines spread over a horizon long enough that the queue stays near N
+  // pending for most of the batch.
+  const double horizon = 2e-3;
+  for (auto _ : state) {
+    mpx_bench::run_dummy_batch(*world, stream, n_tasks, horizon, rec, rng);
+  }
+  mpx_bench::report_latency(state, rec);
+}
+
+}  // namespace
+
+BENCHMARK(BM_PendingTasks)
+    ->RangeMultiplier(2)
+    ->Range(1, 4096)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+
+BENCHMARK_MAIN();

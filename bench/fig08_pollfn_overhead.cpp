@@ -1,0 +1,77 @@
+// Figure 8: "Impact of poll function overhead on event response latency.
+// Each measurement runs 10 concurrent pending tasks. The delay is
+// implemented by busy-polling MPI_Wtime."
+//
+// Heavy poll functions are collated with everyone else's progress, so each
+// extra microsecond of poll_fn body inflates every task's observed latency
+// roughly 10x (10 hooks per pass). The paper's recommendation: keep poll_fn
+// lightweight; enqueue heavy work for outside the callback (§4.2).
+#include "bench_util.hpp"
+
+namespace {
+
+struct HeavyState {
+  mpx::World* world;
+  double deadline;
+  double spin_s;  // busy delay per poll while pending
+  std::atomic<int>* counter;
+  mpx::base::LatencyRecorder* rec;
+};
+
+mpx::AsyncResult heavy_poll(mpx::AsyncThing& thing) {
+  auto* p = static_cast<HeavyState*>(thing.state());
+  const double start = p->world->wtime();
+  while (p->world->wtime() - start < p->spin_s) {
+    // busy-poll MPI_Wtime, as in the paper
+  }
+  const double now = p->world->wtime();
+  if (now >= p->deadline) {
+    p->rec->add(now - p->deadline);
+    p->counter->fetch_sub(1, std::memory_order_relaxed);
+    delete p;
+    return mpx::AsyncResult::done;
+  }
+  return mpx::AsyncResult::noprogress;
+}
+
+void BM_PollFnOverhead(benchmark::State& state) {
+  const double spin_us = static_cast<double>(state.range(0));
+  constexpr int kTasks = 10;
+  auto world = mpx::World::create(mpx::WorldConfig{.nranks = 1});
+  const mpx::Stream stream = world->null_stream(0);
+  mpx::base::LatencyRecorder rec;
+  std::mt19937 rng(999);
+  std::uniform_real_distribution<double> dist(1e-5, 2e-3);
+
+  for (auto _ : state) {
+    std::atomic<int> counter{kTasks};
+    const double now = world->wtime();
+    for (int i = 0; i < kTasks; ++i) {
+      mpx::async_start(&heavy_poll,
+                       new HeavyState{world.get(), now + dist(rng),
+                                      spin_us * 1e-6, &counter, &rec},
+                       stream);
+    }
+    while (counter.load(std::memory_order_relaxed) > 0) {
+      mpx::stream_progress(stream);
+    }
+  }
+  mpx_bench::report_latency(state, rec);
+  state.counters["pollfn_delay_us"] = spin_us;
+}
+
+}  // namespace
+
+BENCHMARK(BM_PollFnOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Figure 10: "Latency versus the number of pending tasks when the progress
+// callback only checks the task at the top of the queue."
+//
+// The §4.3 task-class remedy for Figure 7: N in-order tasks live in an
+// application FIFO behind ONE class_poll hook (Listing 1.4), so a progress
+// pass costs O(1) regardless of N and the mean observation latency stays
+// flat. Run next to fig07_pending_tasks for the contrast.
+#include "bench_util.hpp"
+#include "mpx/task/task_queue.hpp"
+
+namespace {
+
+void BM_TaskClassQueue(benchmark::State& state) {
+  const int n_tasks = static_cast<int>(state.range(0));
+  auto world = mpx::World::create(mpx::WorldConfig{.nranks = 1});
+  const mpx::Stream stream = world->null_stream(0);
+  mpx::base::LatencyRecorder rec;
+
+  // In-order deadlines (the Listing 1.4 premise): evenly spaced over the
+  // same horizon fig07 uses, INTERVAL apart.
+  const double horizon = 2e-3;
+  const double interval = horizon / n_tasks;
+
+  for (auto _ : state) {
+    mpx::task::TaskQueue q(stream);
+    const double base = world->wtime();
+    for (int i = 0; i < n_tasks; ++i) {
+      const double deadline = base + interval * (i + 1);
+      q.push([&world, &rec, deadline] {
+        const double now = world->wtime();
+        if (now < deadline) return false;
+        rec.add(now - deadline);
+        return true;
+      });
+    }
+    q.drain();
+  }
+  mpx_bench::report_latency(state, rec);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TaskClassQueue)
+    ->RangeMultiplier(2)
+    ->Range(1, 4096)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+
+BENCHMARK_MAIN();

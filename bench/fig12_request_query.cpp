@@ -1,0 +1,71 @@
+// Figure 12: "Overhead of generating request completion events via explicit
+// queries." The Listing 1.6 event loop keeps K pending requests and scans
+// them with MPIX_Request_is_complete — one atomic read each — from inside a
+// progress hook. The figure shows the per-progress-call overhead staying in
+// the noise below ~256 requests and growing linearly after.
+//
+// We measure the cost of one stream_progress call with K pending (never
+// matched) receive requests registered in the scanning hook, against the
+// K=0 baseline.
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct ScanState {
+  std::vector<mpx::Request> reqs;
+  std::uint64_t scans = 0;
+  bool stop = false;
+};
+
+mpx::AsyncResult scan_poll(mpx::AsyncThing& thing) {
+  auto* s = static_cast<ScanState*>(thing.state());
+  if (s->stop) return mpx::AsyncResult::done;
+  int num_pending = 0;
+  for (const mpx::Request& r : s->reqs) {
+    if (!r.is_complete()) ++num_pending;  // the Listing 1.6 query loop
+  }
+  ++s->scans;
+  benchmark::DoNotOptimize(num_pending);
+  return mpx::AsyncResult::noprogress;
+}
+
+void BM_RequestQueryLoop(benchmark::State& state) {
+  const int n_reqs = static_cast<int>(state.range(0));
+  auto world = mpx::World::create(mpx::WorldConfig{.nranks = 2});
+  const mpx::Stream stream = world->null_stream(1);
+  mpx::Comm c1 = world->comm_world(1);
+
+  auto scan = std::make_unique<ScanState>();
+  std::vector<std::int32_t> sink(static_cast<std::size_t>(n_reqs) + 1);
+  for (int i = 0; i < n_reqs; ++i) {
+    // Tag space nobody sends on: the requests stay pending forever.
+    scan->reqs.push_back(c1.irecv(&sink[static_cast<std::size_t>(i)], 1,
+                                  mpx::dtype::Datatype::int32(), 0,
+                                  100000 + i));
+  }
+  mpx::async_start(&scan_poll, scan.get(), stream);
+  mpx::stream_progress(stream);  // link the hook
+
+  for (auto _ : state) {
+    mpx::stream_progress(stream);
+  }
+  state.counters["pending_requests"] = n_reqs;
+  state.counters["scans"] = static_cast<double>(scan->scans);
+
+  // Tear down: stop the hook, cancel the receives.
+  scan->stop = true;
+  mpx::stream_progress(stream);
+  for (mpx::Request& r : scan->reqs) r.cancel();
+}
+
+}  // namespace
+
+BENCHMARK(BM_RequestQueryLoop)
+    ->Arg(0)
+    ->RangeMultiplier(4)
+    ->Range(1, 4096)
+    ->MinTime(0.05);
+
+BENCHMARK_MAIN();

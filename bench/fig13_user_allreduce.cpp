@@ -1,0 +1,101 @@
+// Figure 13: "Custom single-integer allreduce latency vs MPI_Iallreduce",
+// one process per node (all traffic through the simulated NIC).
+//
+// Compares the paper's Listing 1.8 user-level recursive-doubling allreduce
+// (driven by an MPIX_Async hook + Request::is_complete) against the native
+// nonblocking allreduce (same recursive-doubling algorithm, schedule-based).
+// The paper found the user-level version slightly FASTER thanks to its
+// special-case shortcuts (power-of-two ranks, in-place, int+sum only); the
+// same effect shows here as lower per-operation overhead.
+//
+// Ranks are threads; wait loops yield so the single-core container can
+// round-robin them quickly.
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mpx/coll/coll.hpp"
+#include "mpx/coll/user_allreduce.hpp"
+
+namespace {
+
+constexpr int kRepsPerIteration = 20;
+
+enum class Impl : int { user = 0, native = 1 };
+
+double run_allreduces(mpx::World& world, int nranks, Impl impl,
+                      mpx::base::LatencyRecorder& rec) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  double elapsed_rank0 = 0.0;
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      mpx::Comm comm = world.comm_world(r);
+      const mpx::Stream stream = comm.stream();
+      std::int32_t value = r;
+      for (int rep = 0; rep < kRepsPerIteration; ++rep) {
+        const double t0 = world.wtime();
+        if (impl == Impl::user) {
+          bool done = false;
+          mpx::coll::user_allreduce_int_sum_start(&value, 1, comm, &done);
+          while (!done) {
+            mpx::stream_progress(stream);
+            std::this_thread::yield();
+          }
+        } else {
+          mpx::Request req = mpx::coll::iallreduce(
+              mpx::coll::in_place, &value, 1, mpx::dtype::Datatype::int32(),
+              mpx::dtype::ReduceOp::sum, comm);
+          while (!req.is_complete()) {
+            mpx::stream_progress(stream);
+            std::this_thread::yield();
+          }
+        }
+        if (r == 0) {
+          rec.add(world.wtime() - t0);
+          elapsed_rank0 += world.wtime() - t0;
+        }
+        value = r;  // reset input for the next repetition
+      }
+      world.finalize_rank(r);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return elapsed_rank0;
+}
+
+void BM_Allreduce(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const Impl impl = static_cast<Impl>(state.range(1));
+  mpx::WorldConfig cfg;
+  cfg.nranks = nranks;
+  cfg.ranks_per_node = 1;  // one process per node, as in the paper
+  mpx::base::LatencyRecorder rec;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto world = mpx::World::create(cfg);
+    state.ResumeTiming();
+    run_allreduces(*world, nranks, impl, rec);
+  }
+  mpx_bench::report_latency(state, rec);
+  state.SetLabel(impl == Impl::user ? "user_listing_1_8"
+                                    : "native_iallreduce");
+}
+
+void AllArgs(benchmark::internal::Benchmark* b) {
+  for (int impl : {0, 1}) {
+    for (int p : {2, 4, 8, 16}) {
+      b->Args({p, impl});
+    }
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Allreduce)
+    ->Apply(AllArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

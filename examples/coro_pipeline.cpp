@@ -1,0 +1,92 @@
+// coro_pipeline — async/await over the progress engine (paper §2.2: the
+// await syntax is the concise way to write multi-wait-block tasks).
+//
+// A consumer coroutine written as a straight line:
+//   receive a block (wait block #1) -> transform -> checkpoint to the
+//   simulated disk (wait block #2) -> acknowledge (wait block #3)
+// while a producer coroutine streams blocks at it. Both coroutines — plus
+// the storage engine behind the checkpoint — are driven by one ordinary
+// progress loop; no callbacks, no inverted control flow.
+//
+// Build & run:  ./examples/coro_pipeline [blocks]
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "mpx/io/file.hpp"
+#include "mpx/mpx.hpp"
+#include "mpx/task/coro.hpp"
+
+namespace {
+
+constexpr std::size_t kBlockElems = 1024;
+
+mpx::task::Coro producer(mpx::Comm c, mpx::Stream s, int blocks) {
+  std::vector<std::int64_t> block(kBlockElems);
+  for (int b = 0; b < blocks; ++b) {
+    std::iota(block.begin(), block.end(), b * 1000);
+    mpx::Request sr = c.isend(block.data(), block.size(),
+                              mpx::dtype::Datatype::int64(), 1, b);
+    co_await mpx::task::completion(sr, s);
+    std::int32_t ack = -1;
+    mpx::Request ar = c.irecv(&ack, 1, mpx::dtype::Datatype::int32(), 1, b);
+    co_await mpx::task::completion(ar, s);
+    std::printf("  producer: block %d acknowledged (checksum %d)\n", b, ack);
+  }
+}
+
+mpx::task::Coro consumer(mpx::Comm c, mpx::Stream s, mpx::io::File ckpt,
+                         int blocks) {
+  std::vector<std::int64_t> block(kBlockElems);
+  for (int b = 0; b < blocks; ++b) {
+    // Wait block #1: the network.
+    mpx::Request rr = c.irecv(block.data(), block.size(),
+                              mpx::dtype::Datatype::int64(), 0, b);
+    co_await mpx::task::completion(rr, s);
+
+    // Transform (compute segment between the waits).
+    std::int64_t sum = 0;
+    for (auto v : block) sum += v;
+
+    // Wait block #2: the storage device.
+    mpx::Request wr = ckpt.iwrite_at(
+        static_cast<std::uint64_t>(b) * kBlockElems * 8,
+        mpx::base::as_bytes(block.data(), block.size()));
+    co_await mpx::task::completion(wr, s);
+
+    // Wait block #3: the acknowledgement send.
+    auto checksum = static_cast<std::int32_t>(sum % 1000003);
+    mpx::Request ar = c.isend(&checksum, 1, mpx::dtype::Datatype::int32(),
+                              0, b);
+    co_await mpx::task::completion(ar, s);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int blocks = argc > 1 ? std::atoi(argv[1]) : 4;
+  auto world = mpx::World::create(mpx::WorldConfig{.nranks = 2});
+  auto disk = std::make_shared<mpx::io::SimDisk>(*world);
+
+  mpx::Stream s0 = world->null_stream(0);
+  mpx::Stream s1 = world->null_stream(1);
+  mpx::io::File ckpt = mpx::io::File::open(disk, "stream.ckpt", s1);
+
+  std::printf("streaming %d blocks through recv -> transform -> checkpoint "
+              "-> ack\n", blocks);
+  mpx::task::Coro prod = producer(world->comm_world(0), s0, blocks);
+  mpx::task::Coro cons = consumer(world->comm_world(1), s1, ckpt, blocks);
+
+  // One plain progress loop drives both coroutines and the disk.
+  while (!prod.done() || !cons.done()) {
+    mpx::stream_progress(s0);
+    mpx::stream_progress(s1);
+  }
+  std::printf("done: %llu bytes checkpointed\n",
+              static_cast<unsigned long long>(disk->size("stream.ckpt")));
+  world->finalize_rank(0);
+  world->finalize_rank(1);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// multi_stream — the paper's §4.4 / Listing 1.5: scaling progress across
+// threads with per-thread MPIX streams.
+//
+// Every thread creates its own stream, attaches its tasks to it, and
+// progresses only it. Because a stream is a serial execution context with a
+// private VCI, threads never contend on a shared progress lock — contrast
+// with all threads hammering MPIX_STREAM_NULL (the Fig. 9 regime). The
+// instrumented VCI locks report the contention directly.
+//
+// Build & run:  ./examples/multi_stream [num_threads]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "mpx/base/thread.hpp"
+#include "mpx/mpx.hpp"
+#include "mpx/task/deadline.hpp"
+
+namespace {
+
+constexpr int kTasksPerThread = 10;
+constexpr double kDuration = 100e-6;
+
+void worker(const mpx::Stream& stream, mpx::base::LatencyRecorder& rec) {
+  std::atomic<int> counter{kTasksPerThread};
+  for (int i = 0; i < kTasksPerThread; ++i) {
+    mpx::task::add_dummy_task(stream, kDuration * (i + 1) / kTasksPerThread,
+                              &counter, &rec);
+  }
+  while (counter.load() > 0) mpx::stream_progress(stream);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  mpx::WorldConfig cfg;
+  cfg.nranks = 1;
+  cfg.max_vcis = n_threads + 1;
+  auto world = mpx::World::create(cfg);
+
+  // Shared default stream: every thread progresses MPIX_STREAM_NULL.
+  mpx::base::LatencyRecorder shared_rec;
+  {
+    std::vector<mpx::base::ScopedThread> threads;
+    for (int t = 0; t < n_threads; ++t) {
+      threads.emplace_back(
+          [&] { worker(world->null_stream(0), shared_rec); });
+    }
+  }
+  const auto shared_locks = world->vci_lock_stats(0, 0);
+
+  // Private streams: one per thread (Listing 1.5).
+  std::vector<mpx::Stream> streams;
+  for (int t = 0; t < n_threads; ++t) streams.push_back(world->stream_create(0));
+  mpx::base::LatencyRecorder private_rec;
+  {
+    std::vector<mpx::base::ScopedThread> threads;
+    for (int t = 0; t < n_threads; ++t) {
+      threads.emplace_back([&, t] { worker(streams[t], private_rec); });
+    }
+  }
+  std::uint64_t private_contended = 0;
+  for (const auto& s : streams) {
+    private_contended += world->vci_lock_stats(0, s.vci()).contended;
+  }
+
+  std::printf("%d threads x %d tasks\n", n_threads, kTasksPerThread);
+  std::printf("  shared STREAM_NULL : p50 %8.3f us, contended lock acquires %llu\n",
+              shared_rec.summarize().p50_us,
+              static_cast<unsigned long long>(shared_locks.contended));
+  std::printf("  per-thread streams : p50 %8.3f us, contended lock acquires %llu\n",
+              private_rec.summarize().p50_us,
+              static_cast<unsigned long long>(private_contended));
+
+  for (auto& s : streams) world->stream_free(s);
+  world->finalize_rank(0);
+  return 0;
+}

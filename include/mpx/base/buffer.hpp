@@ -1,0 +1,57 @@
+// mpx/base/buffer.hpp
+//
+// Owning byte buffer and span aliases used for message payloads.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+
+namespace mpx::base {
+
+using ByteSpan = std::span<std::byte>;
+using ConstByteSpan = std::span<const std::byte>;
+
+/// Reinterpret a typed object/array region as bytes (for payload APIs).
+template <class T>
+ConstByteSpan as_bytes(const T* p, std::size_t count) {
+  return ConstByteSpan(reinterpret_cast<const std::byte*>(p),
+                       count * sizeof(T));
+}
+template <class T>
+ByteSpan as_writable_bytes(T* p, std::size_t count) {
+  return ByteSpan(reinterpret_cast<std::byte*>(p), count * sizeof(T));
+}
+
+/// Movable heap byte buffer; used for eager-message envelopes and staging.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t n)
+      : data_(n != 0 ? std::make_unique<std::byte[]>(n) : nullptr), size_(n) {}
+
+  /// Allocate and copy from `src`.
+  static Buffer copy_of(ConstByteSpan src) {
+    Buffer b(src.size());
+    if (!src.empty()) std::memcpy(b.data(), src.data(), src.size());
+    return b;
+  }
+
+  Buffer(Buffer&&) = default;
+  Buffer& operator=(Buffer&&) = default;
+
+  std::byte* data() { return data_.get(); }
+  const std::byte* data() const { return data_.get(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  ByteSpan span() { return ByteSpan(data_.get(), size_); }
+  ConstByteSpan span() const { return ConstByteSpan(data_.get(), size_); }
+
+ private:
+  std::unique_ptr<std::byte[]> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mpx::base

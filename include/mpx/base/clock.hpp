@@ -1,0 +1,48 @@
+// mpx/base/clock.hpp
+//
+// Time sources. The runtime never calls std::chrono directly: every World
+// owns a Clock so tests can drive protocols with a manually-advanced virtual
+// clock while benchmarks use the steady clock. Units are seconds (double),
+// matching MPI_Wtime.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace mpx::base {
+
+/// Abstract monotonic time source, seconds since an arbitrary epoch.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds. Monotonic, thread-safe.
+  virtual double now() const = 0;
+};
+
+/// Wall-clock time source backed by std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock();
+  double now() const override;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Manually-advanced time source for deterministic tests.
+/// All mutation is atomic so multi-threaded tests may share one instance.
+class VirtualClock final : public Clock {
+ public:
+  double now() const override { return t_.load(std::memory_order_acquire); }
+
+  /// Advance time by dt seconds (dt >= 0).
+  void advance(double dt);
+
+  /// Jump to an absolute time (must not move backwards).
+  void set(double t);
+
+ private:
+  std::atomic<double> t_{0.0};
+};
+
+}  // namespace mpx::base

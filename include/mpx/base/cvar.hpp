@@ -1,0 +1,20 @@
+// mpx/base/cvar.hpp
+//
+// Runtime configuration variables ("CVARs"), MPICH-style: every tunable has a
+// compiled-in default overridable through an MPX_-prefixed environment
+// variable. WorldConfig consults these at construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mpx::base {
+
+/// Read environment variable `name`; return `def` when unset or malformed.
+std::int64_t cvar_int(const char* name, std::int64_t def);
+double cvar_double(const char* name, double def);
+bool cvar_bool(const char* name, bool def);
+std::string cvar_string(const char* name, const std::string& def);
+
+}  // namespace mpx::base

@@ -1,0 +1,182 @@
+// mpx/base/intrusive.hpp
+//
+// Intrusive reference counting and an intrusive doubly-linked list.
+// Request objects are the hot currency of the runtime; intrusive refcounts
+// avoid the separate control block of shared_ptr, and intrusive lists give
+// O(1) unlink for matching queues and pending-operation lists.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+#include "mpx/base/status.hpp"
+
+namespace mpx::base {
+
+/// CRTP-free intrusive refcount base. Derive publicly; manage with Ref<T>.
+class RefCounted {
+ public:
+  RefCounted() = default;
+  RefCounted(const RefCounted&) = delete;
+  RefCounted& operator=(const RefCounted&) = delete;
+
+  void ref_inc() const { refs_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Returns true when the count hit zero and the object must be deleted.
+  bool ref_dec() const {
+    return refs_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+
+  int ref_count() const { return refs_.load(std::memory_order_relaxed); }
+
+ protected:
+  ~RefCounted() = default;
+
+ private:
+  mutable std::atomic<int> refs_{1};  // born owned by the creator
+};
+
+/// Intrusive smart pointer for RefCounted types.
+/// Ref(T*) ADOPTS the initial reference (does not increment).
+template <class T>
+class Ref {
+ public:
+  Ref() = default;
+  /// Adopt: takes over the reference the raw pointer already holds.
+  explicit Ref(T* p) : p_(p) {}
+
+  /// Share: increments the refcount.
+  static Ref share(T* p) {
+    if (p != nullptr) p->ref_inc();
+    return Ref(p);
+  }
+
+  Ref(const Ref& o) : p_(o.p_) {
+    if (p_ != nullptr) p_->ref_inc();
+  }
+  Ref(Ref&& o) noexcept : p_(std::exchange(o.p_, nullptr)) {}
+  Ref& operator=(Ref o) noexcept {
+    std::swap(p_, o.p_);
+    return *this;
+  }
+  ~Ref() { reset(); }
+
+  void reset() {
+    if (p_ != nullptr && p_->ref_dec()) delete p_;
+    p_ = nullptr;
+  }
+
+  /// Release ownership without decrementing (caller takes the reference).
+  T* release() { return std::exchange(p_, nullptr); }
+
+  T* get() const { return p_; }
+  T* operator->() const { return p_; }
+  T& operator*() const { return *p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+  friend bool operator==(const Ref& a, const Ref& b) { return a.p_ == b.p_; }
+
+ private:
+  T* p_ = nullptr;
+};
+
+/// Hook to embed in list element types. An element may be on at most one
+/// IntrusiveList per hook at a time. The hook records its owning element when
+/// linked so the list can map hooks back to elements without pointer
+/// arithmetic.
+struct ListHook {
+  ListHook* prev = nullptr;
+  ListHook* next = nullptr;
+  void* owner = nullptr;
+  bool linked() const { return prev != nullptr; }
+};
+
+/// Intrusive doubly-linked list over elements of T embedding a ListHook
+/// member, selected by pointer-to-member. Does not own elements.
+template <class T, ListHook T::* Hook>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.prev = &head_;
+    head_.next = &head_;
+  }
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next == &head_; }
+  std::size_t size() const { return size_; }
+
+  void push_back(T* e) {
+    ListHook* h = &(e->*Hook);
+    ensures(!h->linked(), "intrusive: element already linked");
+    h->owner = e;
+    h->prev = head_.prev;
+    h->next = &head_;
+    head_.prev->next = h;
+    head_.prev = h;
+    ++size_;
+  }
+
+  void push_front(T* e) {
+    ListHook* h = &(e->*Hook);
+    ensures(!h->linked(), "intrusive: element already linked");
+    h->owner = e;
+    h->next = head_.next;
+    h->prev = &head_;
+    head_.next->prev = h;
+    head_.next = h;
+    ++size_;
+  }
+
+  T* front() const { return empty() ? nullptr : owner(head_.next); }
+
+  void erase(T* e) {
+    ListHook* h = &(e->*Hook);
+    ensures(h->linked(), "intrusive: element not linked");
+    h->prev->next = h->next;
+    h->next->prev = h->prev;
+    h->prev = h->next = nullptr;
+    --size_;
+  }
+
+  T* pop_front() {
+    if (empty()) return nullptr;
+    T* e = owner(head_.next);
+    erase(e);
+    return e;
+  }
+
+  /// Move all elements of `other` to the back of this list.
+  void splice_back(IntrusiveList& other) {
+    if (other.empty()) return;
+    ListHook* first = other.head_.next;
+    ListHook* last = other.head_.prev;
+    first->prev = head_.prev;
+    head_.prev->next = first;
+    last->next = &head_;
+    head_.prev = last;
+    size_ += other.size_;
+    other.head_.prev = &other.head_;
+    other.head_.next = &other.head_;
+    other.size_ = 0;
+  }
+
+  /// Visit elements in order; the visitor may erase the *current* element.
+  template <class F>
+  void for_each_safe(F&& f) {
+    ListHook* it = head_.next;
+    while (it != &head_) {
+      ListHook* next = it->next;
+      f(owner(it));
+      it = next;
+    }
+  }
+
+ private:
+  static T* owner(ListHook* h) { return static_cast<T*>(h->owner); }
+
+  ListHook head_;  // sentinel
+  std::size_t size_ = 0;
+};
+
+}  // namespace mpx::base

@@ -1,0 +1,49 @@
+// mpx/base/log.hpp
+//
+// Minimal leveled logging to stderr. Level is read once from MPX_LOG_LEVEL
+// (error|warn|info|debug). Debug logging is compiled in but gated by a
+// branch on an atomic; the runtime emits nothing at default level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mpx::base {
+
+enum class LogLevel : int { error = 0, warn = 1, info = 2, debug = 3 };
+
+/// Current global level (from MPX_LOG_LEVEL, default warn).
+LogLevel log_level();
+
+/// Emit one line at `lvl` if enabled. Thread-safe (single write call).
+void log_line(LogLevel lvl, const std::string& msg);
+
+/// Returns true when messages at `lvl` are emitted.
+inline bool log_enabled(LogLevel lvl) {
+  return static_cast<int>(lvl) <= static_cast<int>(log_level());
+}
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel lvl) : lvl_(lvl) {}
+  ~LogStream() { log_line(lvl_, os_.str()); }
+  template <class T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace mpx::base
+
+// Usage: MPX_LOG(warn) << "queue full, src=" << src;
+#define MPX_LOG(level)                                             \
+  if (!::mpx::base::log_enabled(::mpx::base::LogLevel::level)) {   \
+  } else                                                           \
+    ::mpx::base::detail::LogStream(::mpx::base::LogLevel::level)

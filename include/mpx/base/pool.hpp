@@ -1,0 +1,44 @@
+// mpx/base/pool.hpp
+//
+// Freelist object pool. Transports allocate packet/envelope objects at high
+// rate; the pool recycles them without hitting the global allocator. Not
+// thread-safe by itself — each VCI owns its own pools.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace mpx::base {
+
+/// Recycling pool of default-constructible T. acquire() reuses a released
+/// object when available. Objects are reset by the caller.
+template <class T>
+class ObjectPool {
+ public:
+  explicit ObjectPool(std::size_t reserve = 0) { free_.reserve(reserve); }
+
+  std::unique_ptr<T> acquire() {
+    if (!free_.empty()) {
+      std::unique_ptr<T> p = std::move(free_.back());
+      free_.pop_back();
+      return p;
+    }
+    ++allocated_;
+    return std::make_unique<T>();
+  }
+
+  void release(std::unique_ptr<T> p) {
+    if (p != nullptr) free_.push_back(std::move(p));
+  }
+
+  std::size_t total_allocated() const { return allocated_; }
+  std::size_t free_count() const { return free_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<T>> free_;
+  std::size_t allocated_ = 0;
+};
+
+}  // namespace mpx::base

@@ -1,0 +1,101 @@
+// mpx/base/queue.hpp
+//
+// Queues used by the transports:
+//  - SpscRing: lock-free bounded single-producer/single-consumer ring, the
+//    "cell queue" of the shared-memory fast path (one per directed rank pair).
+//  - MpscQueue: mutex-guarded multi-producer/single-consumer queue used for
+//    simulated-NIC delivery and control traffic. A Spinlock is sufficient:
+//    critical sections are a few pointer moves.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "mpx/base/spinlock.hpp"
+#include "mpx/base/status.hpp"
+
+namespace mpx::base {
+
+/// Lock-free bounded SPSC ring buffer. Capacity must be a power of two.
+template <class T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_pow2) : buf_(capacity_pow2) {
+    expects(capacity_pow2 >= 2 && (capacity_pow2 & (capacity_pow2 - 1)) == 0,
+            "SpscRing capacity must be a power of two >= 2");
+  }
+
+  /// Producer side. Returns false if the ring is full.
+  bool try_push(T&& v) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    if (h - t == buf_.size()) return false;
+    buf_[h & (buf_.size() - 1)] = std::move(v);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt if the ring is empty.
+  std::optional<T> try_pop() {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    if (h == t) return std::nullopt;
+    T v = std::move(buf_[t & (buf_.size() - 1)]);
+    tail_.store(t + 1, std::memory_order_release);
+    return v;
+  }
+
+  /// Consumer-side emptiness check (racy for producers, exact for consumer).
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+
+ private:
+  std::vector<T> buf_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+/// Mutex-guarded unbounded MPSC/MPMC queue for control-plane traffic.
+template <class T>
+class MpscQueue {
+ public:
+  void push(T&& v) {
+    std::lock_guard<Spinlock> g(mu_);
+    q_.push_back(std::move(v));
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard<Spinlock> g(mu_);
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    return v;
+  }
+
+  /// Cheap check that avoids taking the lock when the queue looks empty.
+  /// May return a stale answer; callers treat it as a hint.
+  bool maybe_empty() const {
+    std::lock_guard<Spinlock> g(mu_);
+    return q_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<Spinlock> g(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable Spinlock mu_;
+  std::deque<T> q_;
+};
+
+}  // namespace mpx::base

@@ -1,0 +1,38 @@
+// mpx/base/spinlock.hpp
+//
+// Test-and-test-and-set spinlock with exponential-ish backoff via cpu pause.
+// Used for very short critical sections inside transports (queue push/pop).
+#pragma once
+
+#include <atomic>
+
+#include "mpx/base/thread.hpp"
+
+namespace mpx::base {
+
+/// TTAS spinlock. Satisfies Lockable, usable with std::lock_guard.
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) cpu_relax();
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace mpx::base

@@ -1,0 +1,66 @@
+// mpx/base/status.hpp
+//
+// Error codes and the per-operation Status record used across the runtime.
+// Modeled on MPI's error-code + MPI_Status design: runtime conditions (e.g.
+// truncation) are reported through codes/Status, while API misuse throws.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mpx {
+
+/// Runtime error codes. `success` is zero so codes are testable as booleans.
+enum class Err : int {
+  success = 0,
+  truncate,    ///< receive buffer smaller than the matched message
+  pending,     ///< operation not yet complete (internal)
+  cancelled,   ///< operation was cancelled
+  no_match,    ///< probe found no matching message
+  resource,    ///< out of internal resources (queue full, vci exhausted)
+  internal,    ///< invariant violation detected at runtime
+};
+
+/// Human-readable name for an error code.
+std::string to_string(Err e);
+
+/// Completion record for a receive (and for generalized requests).
+/// Mirrors MPI_Status: who sent it, with what tag, how many bytes landed.
+struct Status {
+  int source = -1;            ///< sending rank within the communicator
+  int tag = -1;               ///< message tag
+  Err error = Err::success;   ///< per-operation error
+  std::uint64_t count_bytes = 0;  ///< bytes actually received
+  bool cancelled = false;     ///< true if the operation was cancelled
+};
+
+/// Thrown on API misuse (precondition violations), never on runtime
+/// message-layer conditions.
+class UsageError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant is violated; indicates a library bug.
+class InternalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_usage(const char* cond, const char* file, int line);
+[[noreturn]] void throw_internal(const char* cond, const char* file, int line);
+}  // namespace detail
+
+/// Precondition check for public API entry points.
+inline void expects(bool cond, const char* what) {
+  if (!cond) throw UsageError(what);
+}
+
+/// Internal invariant check; cheap enough to keep on in release builds.
+inline void ensures(bool cond, const char* what) {
+  if (!cond) throw InternalError(what);
+}
+
+}  // namespace mpx

@@ -1,0 +1,49 @@
+// mpx/base/thread.hpp
+//
+// Small threading helpers shared by the runtime and benchmarks.
+#pragma once
+
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace mpx::base {
+
+/// Hint the CPU that we are in a spin-wait loop (x86 PAUSE / fallback no-op).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Name the calling thread (visible in debuggers / /proc). Best effort.
+void set_current_thread_name(const std::string& name);
+
+/// std::thread that joins on destruction (std::jthread without stop tokens,
+/// kept explicit for pre-C++20-library toolchains and clarity).
+class ScopedThread {
+ public:
+  ScopedThread() = default;
+  template <class F, class... Args>
+  explicit ScopedThread(F&& f, Args&&... args)
+      : t_(std::forward<F>(f), std::forward<Args>(args)...) {}
+  ScopedThread(ScopedThread&&) = default;
+  ScopedThread& operator=(ScopedThread&& other) {
+    join();
+    t_ = std::move(other.t_);
+    return *this;
+  }
+  ~ScopedThread() { join(); }
+
+  void join() {
+    if (t_.joinable()) t_.join();
+  }
+  bool joinable() const { return t_.joinable(); }
+
+ private:
+  std::thread t_;
+};
+
+}  // namespace mpx::base

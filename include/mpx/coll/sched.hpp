@@ -1,0 +1,121 @@
+// mpx/coll/sched.hpp
+//
+// Schedule-based nonblocking collectives. A Sched is a sequence of rounds;
+// each round issues its communication ops together, and when all of them
+// complete (checked with Request::is_complete — no progress side effects,
+// §3.4) its completion-phase local ops (copy / local reduce / callback) run
+// and the next round is issued.
+//
+// The engine is deliberately built ON TOP of the public core API: it drives
+// itself with a progress hook registered via coll_hook_start and exposes its
+// handle as a generalized request. This is the paper's §2.7 thesis —
+// collectives as a library over a core MPI with interoperable progress.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpx/base/buffer.hpp"
+#include "mpx/core/async.hpp"
+#include "mpx/core/comm.hpp"
+#include "mpx/dtype/reduce_op.hpp"
+
+namespace mpx::coll {
+
+/// Builder + state machine for one collective operation instance.
+/// Build rounds front-to-back, then launch with Sched::commit.
+class Sched {
+ public:
+  /// Create a schedule over `comm`. Traffic uses the collective context and
+  /// a per-instance tag, so user p2p and concurrent collectives cannot
+  /// interfere.
+  explicit Sched(const Comm& comm);
+
+  Sched(const Sched&) = delete;
+  Sched& operator=(const Sched&) = delete;
+
+  // --- issue-phase ops (posted together when the round starts) ---
+  //
+  // `tag_offset` disambiguates multiple same-peer ops inside ONE round
+  // (e.g. the two directional edges to the same neighbor in a size-2
+  // periodic ring). Offsets must be < 64: each collective instance reserves
+  // a 64-tag range.
+
+  /// Send `count` elements to communicator rank `dst`.
+  void add_isend(const void* buf, std::size_t count, dtype::Datatype dt,
+                 int dst, int tag_offset = 0);
+  /// Receive `count` elements from communicator rank `src`.
+  void add_irecv(void* buf, std::size_t count, dtype::Datatype dt, int src,
+                 int tag_offset = 0);
+
+  // --- completion-phase ops (run when the round's requests complete) ---
+
+  /// memcpy src -> dst.
+  void add_copy(const void* src, void* dst, std::size_t bytes);
+  /// inout[i] = op(inout[i], in[i]) over `count` elements.
+  void add_reduce(const void* in, void* inout, std::size_t count,
+                  dtype::Datatype dt, dtype::ReduceOp op);
+  /// Arbitrary local work (must be lightweight; runs inside progress).
+  void add_fn(std::function<void()> fn);
+
+  /// Close the current round and start a new one.
+  void next_round();
+
+  /// Allocate scratch owned by the schedule (freed when it completes).
+  std::byte* scratch(std::size_t bytes);
+
+  /// The communicator rank of the caller / member count (convenience).
+  int rank() const { return comm_.rank(); }
+  int size() const { return comm_.size(); }
+
+  /// Launch: registers the progress hook on the comm's stream and returns a
+  /// request that completes when the whole schedule has run.
+  static Request commit(std::unique_ptr<Sched> sched);
+
+ private:
+  struct CommOp {
+    bool is_send = false;
+    const void* sbuf = nullptr;
+    void* rbuf = nullptr;
+    std::size_t count = 0;
+    dtype::Datatype dt;
+    int peer = -1;
+    int tag_offset = 0;
+  };
+  struct PostOp {
+    enum class Kind { copy, reduce, fn } kind = Kind::copy;
+    const void* in = nullptr;
+    void* out = nullptr;
+    std::size_t bytes = 0;   // copy
+    std::size_t count = 0;   // reduce
+    dtype::Datatype dt;
+    dtype::ReduceOp op = dtype::ReduceOp::sum;
+    std::function<void()> fn;
+  };
+  struct Round {
+    std::vector<CommOp> comm_ops;
+    std::vector<PostOp> post_ops;
+    std::vector<Request> reqs;
+  };
+
+  Round& cur() {
+    if (rounds_.empty()) rounds_.emplace_back();
+    return rounds_.back();
+  }
+
+  void issue_round(std::size_t idx);
+  /// One poll: returns true when the whole schedule finished.
+  bool poll();
+  static AsyncResult poll_trampoline(AsyncThing& thing);
+
+  Comm comm_;  // collective-context view
+  int tag_ = 0;
+  std::vector<Round> rounds_;
+  std::size_t cur_round_ = 0;
+  bool started_ = false;
+  std::vector<base::Buffer> scratch_;
+  Request handle_;  // generalized request returned to the caller
+};
+
+}  // namespace mpx::coll

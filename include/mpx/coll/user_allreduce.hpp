@@ -1,0 +1,26 @@
+// mpx/coll/user_allreduce.hpp
+//
+// The paper's Listing 1.8: a USER-LEVEL recursive-doubling allreduce driven
+// entirely by the MPIX_Async extension — the poll function watches its two
+// requests with Request::is_complete, reduces locally, and issues the next
+// round's isend/irecv from inside the hook. This is the workload of Fig. 13,
+// where the user-level implementation matches (and slightly beats) the
+// native nonblocking allreduce thanks to its special-case shortcuts:
+// in-place, int32 + sum, power-of-two ranks only.
+#pragma once
+
+#include "mpx/core/comm.hpp"
+
+namespace mpx::coll {
+
+/// Blocking user-level allreduce of `count` int32 elements in place in
+/// `buf`, op = sum. Requires a power-of-two communicator size. Drives
+/// progress on the comm's stream until complete (Listing 1.8's wait loop).
+void user_allreduce_int_sum(void* buf, std::size_t count, const Comm& comm);
+
+/// Nonblocking form: `*done` is set true by the poll function when the
+/// allreduce finishes (the caller keeps driving stream progress).
+void user_allreduce_int_sum_start(void* buf, std::size_t count,
+                                  const Comm& comm, bool* done);
+
+}  // namespace mpx::coll

@@ -1,0 +1,91 @@
+// mpx/core/async.hpp
+//
+// The MPIX_Async extension (§3.3): user-defined progress hooks collated into
+// the runtime's own progress engine ("interoperable MPI progress").
+//
+//   - async_start(poll_fn, extra_state, stream): register a hook. poll_fn is
+//     invoked on every progress call for the stream until it returns
+//     AsyncResult::done. Before returning done, poll_fn must release the
+//     application state behind extra_state; the runtime frees its own
+//     bookkeeping afterwards.
+//   - AsyncThing::spawn(...): add follow-on tasks from inside poll_fn. They
+//     are staged and registered after poll_fn returns (avoids recursion and
+//     re-entrant queue mutation, as the paper specifies).
+//
+// Restrictions (same as the paper's): poll_fn runs under the stream's serial
+// context — it must not invoke progress recursively (wait/test/
+// stream_progress) and should stay lightweight (§4.2). Use
+// Request::is_complete() inside poll_fn to observe MPI operations.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mpx/base/intrusive.hpp"
+#include "mpx/core/stream.hpp"
+
+namespace mpx {
+
+/// Result of one poll of an async task.
+enum class AsyncResult : int {
+  done = 0,        ///< task finished; state has been cleaned up
+  pending = 1,     ///< task still in flight (MPIX_ASYNC_PENDING)
+  noprogress = 1,  ///< alias used by the paper's listings
+};
+
+class AsyncThing;
+namespace core_detail {
+struct AsyncRuntime;
+}
+
+/// User progress hook. Paper-faithful C signature: retrieve the registered
+/// state with thing.state().
+using AsyncPollFn = AsyncResult (*)(AsyncThing& thing);
+
+/// Opaque per-task context passed to poll_fn. Combines the application state
+/// with implementation bookkeeping (paper §3.3).
+class AsyncThing {
+ public:
+  /// MPIX_Async_get_state: the extra_state registered at async_start/spawn.
+  void* state() const { return state_; }
+
+  /// The stream this task is attached to.
+  Stream stream() const { return stream_; }
+
+  /// MPIX_Async_spawn: register a follow-on task. Staged inside this thing
+  /// and processed after the current poll_fn returns.
+  void spawn(AsyncPollFn fn, void* extra_state, const Stream& stream);
+
+ private:
+  friend struct core_detail::AsyncRuntime;
+  AsyncThing() = default;
+  AsyncThing(const AsyncThing&) = delete;
+  AsyncThing& operator=(const AsyncThing&) = delete;
+
+  AsyncPollFn fn_ = nullptr;
+  void* state_ = nullptr;
+  Stream stream_;
+  // Staged spawns (drained by the runtime after poll_fn returns).
+  struct SpawnRec {
+    AsyncPollFn fn;
+    void* state;
+    Stream stream;
+  };
+  std::vector<SpawnRec> spawned_;
+  base::ListHook hook_;
+};
+
+/// MPIX_Async_start: attach a user progress hook to `stream`.
+void async_start(AsyncPollFn fn, void* extra_state, const Stream& stream);
+
+/// C++ convenience: register a callable polled until it returns done.
+/// The callable is owned by the runtime and destroyed after done.
+void async_start(std::function<AsyncResult()> fn, const Stream& stream);
+
+/// Register a hook polled in the collective-schedules slot (stage 2 of the
+/// collated progress function, before user async things). Extension point
+/// for collective libraries — the MPIR_Progress_hook_register analog that
+/// lets "parts of MPI be built on top of a core MPI implementation" (§2.7).
+void coll_hook_start(AsyncPollFn fn, void* extra_state, const Stream& stream);
+
+}  // namespace mpx

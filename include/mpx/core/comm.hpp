@@ -1,0 +1,185 @@
+// mpx/core/comm.hpp
+//
+// Communicators. A Comm is a per-rank view of a shared communicator object:
+// it knows its local rank, the member group, a context id for matching, and
+// (for stream communicators, MPIX_Stream_comm_create §3.1) the stream each
+// member bound. Operations on a stream communicator are issued and
+// progressed entirely on the local stream's VCI, eliminating lock sharing
+// with other streams.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mpx/core/request.hpp"
+#include "mpx/core/stream.hpp"
+#include "mpx/dtype/datatype.hpp"
+
+namespace mpx {
+
+class World;
+namespace core_detail {
+struct CommImpl;
+struct UnexpMsg;
+struct Vci;
+}
+
+/// Handle to a message claimed by a matched probe (MPI_Improbe). The message
+/// is removed from the matching queues — no other receive can steal it —
+/// and must be consumed with Comm::imrecv. An unconsumed handle returns the
+/// message to the unexpected queue on destruction.
+class MatchedMsg {
+ public:
+  MatchedMsg() = default;
+  MatchedMsg(MatchedMsg&& o) noexcept;
+  MatchedMsg& operator=(MatchedMsg&& o) noexcept;
+  ~MatchedMsg();
+
+  bool valid() const { return msg_ != nullptr; }
+  /// The claimed message's envelope (source is a communicator rank).
+  const Status& envelope() const {
+    expects(valid(), "MatchedMsg::envelope: invalid handle");
+    return envelope_;
+  }
+
+ private:
+  friend class Comm;
+  MatchedMsg(core_detail::UnexpMsg* m, core_detail::Vci* v, Status env)
+      : msg_(m), vci_(v), envelope_(env) {}
+  core_detail::UnexpMsg* release() {
+    auto* m = msg_;
+    msg_ = nullptr;
+    return m;
+  }
+
+  core_detail::UnexpMsg* msg_ = nullptr;
+  core_detail::Vci* vci_ = nullptr;
+  Status envelope_;
+};
+
+/// Per-rank communicator handle. Copyable value type.
+class Comm {
+ public:
+  Comm() = default;
+
+  bool valid() const { return impl_ != nullptr; }
+  int rank() const;  ///< local rank within this communicator
+  int size() const;  ///< number of members
+  World& world() const;
+  /// Matching context id (diagnostic).
+  int context_id() const;
+  /// The local stream bound to this communicator (null stream by default).
+  Stream stream() const;
+  /// Translate a communicator rank to a world rank.
+  int world_rank(int comm_rank) const;
+
+  // --- point-to-point (count in elements of dt) ---
+
+  /// Nonblocking send to `dst` (communicator rank).
+  Request isend(const void* buf, std::size_t count, dtype::Datatype dt,
+                int dst, int tag) const;
+
+  /// Nonblocking receive from `src` (communicator rank or any_source).
+  Request irecv(void* buf, std::size_t count, dtype::Datatype dt, int src,
+                int tag) const;
+
+  /// Blocking variants (isend/irecv + wait, driving this comm's VCI).
+  Status send(const void* buf, std::size_t count, dtype::Datatype dt, int dst,
+              int tag) const;
+  Status recv(void* buf, std::size_t count, dtype::Datatype dt, int src,
+              int tag) const;
+
+  /// Synchronous-mode send (MPI_Issend/MPI_Ssend): always rendezvous, so
+  /// completion implies the receive was matched.
+  Request issend(const void* buf, std::size_t count, dtype::Datatype dt,
+                 int dst, int tag) const;
+  Status ssend(const void* buf, std::size_t count, dtype::Datatype dt,
+               int dst, int tag) const;
+
+  /// Combined send+receive (MPI_Sendrecv): both sides progress together, so
+  /// exchange patterns cannot deadlock.
+  Status sendrecv(const void* sendbuf, std::size_t sendcount,
+                  dtype::Datatype sendtype, int dst, int sendtag,
+                  void* recvbuf, std::size_t recvcount,
+                  dtype::Datatype recvtype, int src, int recvtag) const;
+
+  /// Nonblocking probe: returns the envelope of a matching message if one
+  /// has already arrived (drives one progress pass first).
+  std::optional<Status> iprobe(int src, int tag) const;
+
+  /// Matched probe (MPI_Improbe): claim a matching arrived message so a
+  /// later imrecv — possibly from another thread — receives exactly it.
+  std::optional<MatchedMsg> improbe(int src, int tag) const;
+
+  /// Receive the message claimed by `m` (MPI_Imrecv). Consumes the handle.
+  Request imrecv(void* buf, std::size_t count, dtype::Datatype dt,
+                 MatchedMsg&& m) const;
+
+  // --- persistent operations (MPI_Send_init / MPI_Recv_init) ---
+
+  /// Create an inactive persistent send/recv; arm each cycle with
+  /// mpx::start(), complete it with wait/test/is_complete, then start()
+  /// again. The buffer binding is fixed at init time.
+  Request send_init(const void* buf, std::size_t count, dtype::Datatype dt,
+                    int dst, int tag, bool sync = false) const;
+  Request recv_init(void* buf, std::size_t count, dtype::Datatype dt, int src,
+                    int tag) const;
+
+  // --- management (collective over all members) ---
+
+  /// Duplicate with a fresh context id.
+  Comm dup() const;
+
+  /// Split into disjoint communicators by color; ranks ordered by key then
+  /// by parent rank. color < 0 yields an invalid Comm for that caller.
+  Comm split(int color, int key) const;
+
+  /// MPIX_Stream_comm_create: every member passes its local stream; the
+  /// result issues and matches traffic on those streams' VCIs.
+  Comm with_stream(const Stream& local_stream) const;
+
+  // --- collective-layer integration (used by mpx::coll and mpx::ext) ---
+
+  /// A view of this communicator whose matching context is the collective
+  /// context, isolating collective traffic from user point-to-point traffic
+  /// (MPICH's context-id offset). Same group, streams, and ranks.
+  Comm coll_view() const;
+
+  /// Next collective sequence number for the calling member. With the MPI
+  /// requirement that members invoke collectives in the same order, this
+  /// yields matching tags on every member.
+  int next_coll_tag() const;
+
+  core_detail::CommImpl* impl() const { return impl_.get(); }
+
+  friend bool operator==(const Comm& a, const Comm& b) {
+    return a.impl_ == b.impl_ && a.my_rank_ == b.my_rank_;
+  }
+
+ private:
+  friend class World;
+  Comm(std::shared_ptr<core_detail::CommImpl> impl, int my_rank)
+      : impl_(std::move(impl)), my_rank_(my_rank) {}
+
+  std::shared_ptr<core_detail::CommImpl> impl_;
+  int my_rank_ = -1;
+};
+
+/// Arm one cycle of a persistent request (MPI_Start analog).
+void start(Request& req);
+
+/// Arm several persistent requests (MPI_Startall analog).
+void start_all(std::span<Request> reqs);
+
+/// Generic persistent request: each start() invokes `factory` to launch one
+/// cycle's inner operation; the handle completes when that cycle does.
+/// Building block for persistent collectives (MPI_Barrier_init & friends,
+/// the operations the §5.3 MPIX_Schedule proposal targets).
+Request make_persistent_generic(
+    World& world, const Stream& stream,
+    std::function<base::Ref<core_detail::RequestImpl>()> factory);
+
+}  // namespace mpx

@@ -1,0 +1,55 @@
+// mpx/core/config.hpp
+//
+// World construction parameters. Defaults come from MPX_* environment CVARs
+// (MPICH-style) so benchmarks can sweep without recompiling.
+#pragma once
+
+#include <cstddef>
+
+#include "mpx/net/cost_model.hpp"
+
+namespace mpx {
+
+/// Configuration for a World (one simulated MPI job).
+struct WorldConfig {
+  /// Number of ranks in the job.
+  int nranks = 1;
+
+  /// Ranks per simulated node: pairs within a node use the shared-memory
+  /// transport, pairs across nodes use the simulated NIC. Default (0) means
+  /// "all ranks on one node".
+  int ranks_per_node = 0;
+
+  /// Maximum number of VCIs (streams + the default VCI 0) per rank.
+  int max_vcis = 16;
+
+  /// Shared-memory transport: eager cutover and ring capacity.
+  std::size_t shm_eager_max = 64 * 1024;
+  std::size_t shm_cells = 64;
+  /// Shared-memory LMT copy chunk (receiver-side copy work per poll).
+  std::size_t shm_lmt_chunk = 256 * 1024;
+
+  /// Simulated NIC thresholds: <= lightweight is buffered-and-forget
+  /// (Fig. 1a); <= eager_max completes at injection-done (Fig. 1b); above
+  /// that, rendezvous (Fig. 1c); above pipeline_min, chunked pipeline mode.
+  std::size_t net_lightweight_max = 1024;
+  std::size_t net_eager_max = 64 * 1024;
+  std::size_t net_pipeline_min = 1024 * 1024;
+  std::size_t net_pipeline_chunk = 256 * 1024;
+  int net_pipeline_inflight = 4;
+
+  /// NIC timing model.
+  net::CostModel net;
+
+  /// Use a manually-advanced virtual clock (deterministic tests) instead of
+  /// the steady clock.
+  bool use_virtual_clock = false;
+
+  /// Protocol-trace ring capacity (records). 0 disables tracing.
+  std::size_t trace_capacity = 0;
+
+  /// Construct a config with defaults taken from MPX_* environment CVARs.
+  static WorldConfig from_env(int nranks);
+};
+
+}  // namespace mpx

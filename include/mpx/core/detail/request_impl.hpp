@@ -1,0 +1,151 @@
+// mpx/core/detail/request_impl.hpp
+//
+// Internal request object. Public code uses mpx::Request (a refcounted
+// handle); the runtime manipulates RequestImpl directly. One struct serves
+// every operation kind (send, recv, pack, collective, generalized, user) —
+// the MPICH approach — so completion, waiting, and the is_complete fast path
+// are uniform.
+//
+// Lifetime: born with one reference owned by the creator's Request handle.
+// The protocol layer takes additional references while an operation is in
+// flight (message cookies are pointers to referenced impls).
+//
+// Completion contract: fill `status`, run `on_complete`, then store
+// `complete` with release order. MPIX_Request_is_complete is a single
+// acquire load with no side effects (paper §3.4).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "mpx/base/buffer.hpp"
+#include "mpx/base/intrusive.hpp"
+#include "mpx/base/status.hpp"
+#include "mpx/dtype/datatype.hpp"
+#include "mpx/dtype/segment.hpp"
+
+namespace mpx {
+class World;
+}
+
+namespace mpx::core_detail {
+
+struct Vci;
+struct CommImpl;
+
+enum class ReqKind : std::uint8_t {
+  send = 0,
+  recv,
+  pack,       ///< async datatype pack/unpack
+  coll,       ///< collective schedule
+  grequest,   ///< generalized request
+  user,       ///< ext-layer custom request
+  psend,      ///< persistent send (MPI_Send_init)
+  precv,      ///< persistent receive (MPI_Recv_init)
+  pgeneric,   ///< persistent generic op (persistent collectives)
+};
+
+/// Which send protocol an operation chose (paper Fig. 1 message modes).
+enum class SendProto : std::uint8_t {
+  none = 0,
+  inline_done,  ///< buffered/lightweight: completed at initiation (Fig. 1a)
+  shm_eager,    ///< cell-queue eager, completed at initiation
+  shm_lmt,      ///< shm rendezvous: RTS -> receiver copy -> ACK (one wait)
+  net_light,    ///< NIC inline-buffered, completed at initiation
+  net_eager,    ///< NIC eager, completes at injection-done (Fig. 1b)
+  net_rndv,     ///< NIC rendezvous / pipeline (Fig. 1c, multiple waits)
+};
+
+/// Generalized-request callbacks (MPI_Grequest_start analog).
+struct GrequestFns {
+  Err (*query_fn)(void* extra_state, Status* status) = nullptr;
+  Err (*free_fn)(void* extra_state) = nullptr;
+  Err (*cancel_fn)(void* extra_state, bool complete) = nullptr;
+  void* extra_state = nullptr;
+};
+
+struct RequestImpl : base::RefCounted {
+  explicit RequestImpl(ReqKind k) : kind(k) { live_count().fetch_add(1); }
+  ~RequestImpl() { live_count().fetch_sub(1); }
+
+  /// Number of RequestImpl objects currently alive in the process. Tests
+  /// assert this returns to its baseline after workloads — the tripwire for
+  /// protocol reference-count leaks.
+  static std::atomic<long>& live_count() {
+    static std::atomic<long> count{0};
+    return count;
+  }
+
+  ReqKind kind;
+  World* world = nullptr;
+  Vci* vci = nullptr;  ///< VCI whose progress completes this request
+  std::atomic<bool> complete{false};
+  Status status;
+
+  // --- matching (posted receives live on the VCI's posted list) ---
+  base::ListHook match_hook;
+  std::int32_t context_id = 0;
+  std::int32_t match_src = -1;  ///< world rank or any_source (-1)
+  std::int32_t match_tag = -1;  ///< tag or any_tag (-1)
+
+  // --- user buffer ---
+  void* buf = nullptr;
+  std::size_t count = 0;
+  dtype::Datatype dt;
+  base::Buffer staging;  ///< packed send staging / pipeline assembly
+
+  /// Owning reference to the communicator (rank translation for Status).
+  /// shared_ptr's type-erased deleter permits the incomplete type here.
+  std::shared_ptr<CommImpl> comm;
+
+  /// Receive-side incremental unpack cursor (in-order data chunks).
+  std::unique_ptr<dtype::Segment> seg;
+
+  // --- p2p protocol state ---
+  std::int32_t peer = -1;      ///< world rank of the peer
+  std::int32_t self = -1;      ///< world rank owning this request
+  std::int32_t peer_vci = 0;   ///< destination VCI at the peer
+  std::uint64_t total_bytes = 0;
+  std::uint64_t bytes_moved = 0;   ///< pipeline/assembly progress
+  std::uint64_t next_offset = 0;   ///< next pipeline chunk to inject
+  std::int32_t chunks_inflight = 0;
+  const std::byte* send_src = nullptr;  ///< contiguous source bytes
+  bool uses_staging = false;  ///< send_src points into `staging`
+  SendProto proto = SendProto::none;
+  std::uint64_t peer_cookie = 0;  ///< receiver cookie echoed into data chunks
+
+  // --- completion hook (continuations, collective internals) ---
+  using CompleteFn = void (*)(RequestImpl*, void* arg);
+  CompleteFn on_complete = nullptr;
+  void* on_complete_arg = nullptr;
+
+  // --- generalized request ---
+  GrequestFns greq;
+
+  // --- persistent operation (psend/precv/pgeneric): re-armed by start() ---
+  std::int32_t my_comm_rank = -1;     ///< caller's rank within `comm`
+  base::Ref<RequestImpl> child;       ///< the active cycle's inner request
+  bool sync_mode = false;             ///< ssend semantics for psend
+  /// pgeneric: launches one cycle's inner operation (persistent
+  /// collectives re-run their schedule factory here).
+  std::function<base::Ref<RequestImpl>()> pgen_factory;
+
+  bool cancelled = false;
+};
+
+/// Take an extra reference for in-flight protocol state and encode it as a
+/// wire cookie.
+inline std::uint64_t cookie_of(RequestImpl* r) {
+  r->ref_inc();
+  return reinterpret_cast<std::uint64_t>(r);
+}
+
+/// Decode a wire cookie, adopting the reference taken by cookie_of.
+inline base::Ref<RequestImpl> from_cookie(std::uint64_t c) {
+  return base::Ref<RequestImpl>(reinterpret_cast<RequestImpl*>(c));
+}
+
+}  // namespace mpx::core_detail

@@ -1,0 +1,42 @@
+// mpx/core/info.hpp
+//
+// Key/value hints (MPI_Info analog). Used by stream creation to carry
+// optimization hints, e.g. which progress subsystems a stream may skip.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace mpx {
+
+/// Ordered string key/value hint set.
+class Info {
+ public:
+  Info() = default;
+  Info(std::initializer_list<std::pair<const std::string, std::string>> kv)
+      : kv_(kv) {}
+
+  void set(const std::string& key, const std::string& value) {
+    kv_[key] = value;
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool get_bool(const std::string& key, bool def) const {
+    auto v = get(key);
+    if (!v) return def;
+    return *v == "1" || *v == "true" || *v == "yes";
+  }
+
+  bool empty() const { return kv_.empty(); }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace mpx

@@ -1,0 +1,31 @@
+// mpx/core/pack.hpp
+//
+// Asynchronous datatype pack/unpack requests — the public face of the
+// datatype engine, the FIRST subsystem of the collated progress function
+// (Listing 1.1: Datatype_engine_progress). Large non-contiguous flattening
+// proceeds in chunks, one per progress poll on the owning stream, and
+// completes an ordinary Request (is_complete / wait / continuations all
+// work). On real systems this stage hides GPU pack kernels and similar
+// offloaded transforms; here it is the chunked CPU engine.
+#pragma once
+
+#include "mpx/base/buffer.hpp"
+#include "mpx/core/request.hpp"
+#include "mpx/core/stream.hpp"
+#include "mpx/dtype/datatype.hpp"
+
+namespace mpx {
+
+/// Start packing `count` elements of `dt` at `buf` into `packed` (which
+/// must hold at least count * dt.size() bytes and outlive completion).
+/// `chunk_bytes` moved per progress poll (0 = everything in one poll).
+Request ipack(const void* buf, std::size_t count, dtype::Datatype dt,
+              base::ByteSpan packed, const Stream& stream,
+              std::size_t chunk_bytes = 0);
+
+/// Start unpacking `packed` into `count` elements of `dt` at `buf`.
+Request iunpack(base::ConstByteSpan packed, void* buf, std::size_t count,
+                dtype::Datatype dt, const Stream& stream,
+                std::size_t chunk_bytes = 0);
+
+}  // namespace mpx

@@ -1,0 +1,73 @@
+// mpx/core/request.hpp
+//
+// The public request handle and the paper's completion-query API.
+//
+// MPIX_Request_is_complete (§3.4): `req.is_complete()` is one atomic acquire
+// load — no progress, no locks, no side effects on other requests. Tasks can
+// poll their dependencies without interfering with the progress engine.
+#pragma once
+
+#include <optional>
+
+#include "mpx/core/detail/request_impl.hpp"
+
+namespace mpx {
+
+/// Sentinel values for matching (MPI_ANY_SOURCE / MPI_ANY_TAG analogs).
+inline constexpr int any_source = -1;
+inline constexpr int any_tag = -1;
+
+/// Refcounted handle to an asynchronous operation.
+/// A default-constructed Request is invalid (MPI_REQUEST_NULL analog).
+class Request {
+ public:
+  Request() = default;
+
+  /// Adopt an impl reference (runtime use).
+  explicit Request(base::Ref<core_detail::RequestImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  bool valid() const { return static_cast<bool>(impl_); }
+
+  /// MPIX_Request_is_complete: true once the operation finished. Exactly one
+  /// atomic acquire load; never invokes progress. Invalid handles read as
+  /// complete (matching MPI_REQUEST_NULL semantics in test/wait loops).
+  bool is_complete() const {
+    return !impl_ || impl_->complete.load(std::memory_order_acquire);
+  }
+
+  /// Completion status; call only after is_complete() is true.
+  const Status& status() const {
+    expects(valid(), "Request::status: invalid request");
+    expects(impl_->complete.load(std::memory_order_acquire),
+            "Request::status: request not complete");
+    return impl_->status;
+  }
+
+  /// Block until complete, driving progress on the request's VCI.
+  /// Returns the completion status.
+  Status wait();
+
+  /// One progress pass on the request's VCI, then a completion check.
+  /// Returns the status when complete, nullopt otherwise.
+  std::optional<Status> test();
+
+  /// Request cancellation (supported for unmatched receives and generalized
+  /// requests). Completion still requires progress + wait.
+  void cancel();
+
+  /// Drop this handle (MPI_Request_free analog). The operation itself
+  /// continues; resources release when the runtime's references drop.
+  void reset() { impl_.reset(); }
+
+  core_detail::RequestImpl* impl() const { return impl_.get(); }
+
+  friend bool operator==(const Request& a, const Request& b) {
+    return a.impl_ == b.impl_;
+  }
+
+ private:
+  base::Ref<core_detail::RequestImpl> impl_;
+};
+
+}  // namespace mpx

@@ -1,0 +1,53 @@
+// mpx/core/waittest.hpp
+//
+// Wait/test families over multiple requests (MPI_Waitall/Testany/... analogs)
+// plus the paper's recommended synchronization primitive: a wait loop that
+// uses is_complete() for the check and stream_progress() for the driving,
+// keeping task synchronization orthogonal to the progress engine (§3.5).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mpx/core/request.hpp"
+#include "mpx/core/stream.hpp"
+
+namespace mpx {
+
+/// Block until every request completes, driving each pending request's VCI.
+void wait_all(std::span<Request> reqs);
+
+/// wait_all + per-request statuses (MPI_Waitall with status array).
+/// `statuses` must have the same length as `reqs`.
+void wait_all(std::span<Request> reqs, std::span<Status> statuses);
+
+/// Non-destructive status query (MPI_Request_get_status analog): one
+/// progress pass on the request's VCI, then the status if complete. Unlike
+/// test(), usable repeatedly and side-effect-free on the request itself.
+std::optional<Status> get_status(const Request& req);
+
+/// One progress pass over the involved VCIs; true when all complete.
+bool test_all(std::span<Request> reqs);
+
+/// Block until at least one completes; returns its index.
+std::size_t wait_any(std::span<Request> reqs);
+
+/// One progress pass; index of a completed request, or nullopt.
+std::optional<std::size_t> test_any(std::span<Request> reqs);
+
+/// One progress pass; indices of all currently-complete requests.
+std::vector<std::size_t> test_some(std::span<Request> reqs);
+
+/// Spin `stream_progress(stream)` until `req` completes — the explicit
+/// progress-engine form of MPI_Wait used throughout the paper's examples.
+Status wait_on_stream(Request& req, const Stream& stream);
+
+/// Spin progress on `stream` until `pred()` returns true (e.g. a counter
+/// decremented by async poll functions, Listing 1.3).
+template <class Pred>
+void progress_until(const Stream& stream, Pred&& pred) {
+  while (!pred()) stream_progress(stream);
+}
+
+}  // namespace mpx

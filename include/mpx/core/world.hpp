@@ -1,0 +1,122 @@
+// mpx/core/world.hpp
+//
+// A World is one simulated MPI job: N ranks sharing a process, two
+// transports (shared-memory + simulated NIC), a clock, and per-rank VCI
+// tables. Rank code runs on caller-provided threads ("threads-as-ranks");
+// all rank state is explicit, so one process can host several Worlds.
+#pragma once
+
+#include <memory>
+
+#include "mpx/base/clock.hpp"
+#include "mpx/base/instrumented_mutex.hpp"
+#include "mpx/core/comm.hpp"
+#include "mpx/core/config.hpp"
+#include "mpx/core/info.hpp"
+#include "mpx/core/stream.hpp"
+#include "mpx/net/nic.hpp"
+#include "mpx/shm/shm_transport.hpp"
+#include "mpx/trace/tracer.hpp"
+
+namespace mpx {
+
+namespace core_detail {
+struct RankCtx;
+struct Vci;
+}  // namespace core_detail
+
+class World : public std::enable_shared_from_this<World> {
+ public:
+  /// Create a world of cfg.nranks ranks. (MPI_Init analog.)
+  static std::shared_ptr<World> create(WorldConfig cfg = WorldConfig{});
+
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const;
+  const WorldConfig& config() const;
+
+  /// MPI_Wtime analog.
+  double wtime() const;
+  const base::Clock& clock() const;
+  /// Non-null when the world was configured with use_virtual_clock.
+  base::VirtualClock* virtual_clock();
+
+  /// The world communicator as seen by `rank`.
+  Comm comm_world(int rank);
+
+  // --- streams (§3.1) ---
+
+  /// The default stream (VCI 0) of `rank`: MPIX_STREAM_NULL analog.
+  Stream null_stream(int rank);
+
+  /// MPIX_Stream_create: allocate a serial execution context with its own
+  /// VCI. Info hints: "mpx_skip_netmod"/"mpx_skip_shm"/"mpx_skip_dtype"/
+  /// "mpx_skip_coll" = "1" trims the stream's progress mask.
+  Stream stream_create(int rank, const Info& info = Info{});
+
+  /// MPIX_Stream_free. The stream must be quiescent (no pending work).
+  void stream_free(Stream& stream);
+
+  // --- generalized requests (§4.6) ---
+
+  /// MPI_Grequest_start analog: a user-completed request on rank's VCI 0.
+  Request grequest_start(int rank, core_detail::GrequestFns fns);
+
+  /// Generalized request bound to a specific stream (its VCI is the one a
+  /// wait on the request will progress). Extension used by the collective
+  /// and ext layers.
+  Request grequest_start(const Stream& stream, core_detail::GrequestFns fns);
+
+  /// MPI_Grequest_complete analog: mark `req` complete (query_fn fills the
+  /// final status).
+  static void grequest_complete(Request& req);
+
+  // --- finalize (paper: MPI_Finalize spins progress until async tasks done)
+
+  /// Drive progress on every VCI of `rank` until all pending work (async
+  /// hooks, collective schedules, in-flight protocol ops) drains.
+  void finalize_rank(int rank);
+
+  // --- instrumentation ---
+
+  /// Lock statistics of (rank, vci) — Fig. 9/11 evidence.
+  base::MutexStats vci_lock_stats(int rank, int vci) const;
+  /// Progress-call count of (rank, vci).
+  std::uint64_t vci_progress_calls(int rank, int vci) const;
+
+  /// Per-stage progress-made counters of (rank, vci), in collation order.
+  struct StageCounters {
+    std::uint64_t dtype = 0;
+    std::uint64_t coll = 0;
+    std::uint64_t async = 0;
+    std::uint64_t shm = 0;
+    std::uint64_t net = 0;
+  };
+  StageCounters vci_stage_counters(int rank, int vci) const;
+  shm::ShmStats shm_stats() const;
+  net::NicStats net_stats() const;
+
+  /// True when src and dst live on the same simulated node (shm path).
+  bool same_node(int a, int b) const;
+
+  /// The protocol tracer (§2.5 observability). Disabled (capacity 0) unless
+  /// WorldConfig::trace_capacity / MPX_TRACE_CAPACITY was set.
+  trace::Tracer& tracer();
+
+  // --- internal access (runtime layers; not for applications) ---
+  core_detail::RankCtx& rank_ctx(int rank);
+  core_detail::Vci& vci(int rank, int vci_id);
+  shm::ShmTransport& shm_transport();
+  net::Nic& nic();
+  /// Allocate `count` consecutive matching-context ids (comm management).
+  std::int32_t alloc_context_ids(int count);
+
+ private:
+  explicit World(WorldConfig cfg);
+  struct State;
+  std::unique_ptr<State> s_;
+};
+
+}  // namespace mpx

@@ -1,0 +1,136 @@
+// mpx/dtype/datatype.hpp
+//
+// The datatype engine: primitive and derived datatypes with a flattened
+// (offset, length) representation used by pack/unpack. This is the subsystem
+// behind the first hook of the collated progress function (Listing 1.1 of the
+// paper: Datatype_engine_progress).
+//
+// Datatype is a cheap value handle over an immutable, shared representation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpx/base/status.hpp"
+
+namespace mpx::dtype {
+
+/// Built-in element types.
+enum class Primitive : int {
+  byte = 0,
+  int8,
+  int16,
+  int32,
+  int64,
+  uint8,
+  uint16,
+  uint32,
+  uint64,
+  float32,
+  float64,
+};
+
+/// Size in bytes of a primitive.
+std::size_t primitive_size(Primitive p);
+
+/// Name for diagnostics.
+std::string to_string(Primitive p);
+
+/// One contiguous piece of a flattened datatype: `length` bytes at byte
+/// offset `offset` from the element base address.
+struct Iov {
+  std::ptrdiff_t offset = 0;
+  std::size_t length = 0;
+  friend bool operator==(const Iov&, const Iov&) = default;
+};
+
+namespace detail {
+/// Immutable flattened representation shared by Datatype handles.
+struct TypeRep {
+  std::vector<Iov> iov;        ///< pieces of ONE element, ascending offsets not required
+  std::size_t size = 0;        ///< packed bytes per element (sum of iov lengths)
+  std::ptrdiff_t extent = 0;   ///< memory footprint stride between elements
+  bool contiguous = false;     ///< true iff one piece at offset 0 with extent==size
+  Primitive leaf = Primitive::byte;  ///< element leaf type (for reductions)
+  bool homogeneous = true;     ///< true iff all leaves share one primitive type
+};
+}  // namespace detail
+
+/// Value handle for a (possibly derived) datatype.
+class Datatype {
+ public:
+  /// Default-constructed handle is invalid; use factories.
+  Datatype() = default;
+
+  /// A primitive datatype.
+  static Datatype of(Primitive p);
+
+  // Shorthand factories for common primitives.
+  static Datatype byte() { return of(Primitive::byte); }
+  static Datatype int32() { return of(Primitive::int32); }
+  static Datatype int64() { return of(Primitive::int64); }
+  static Datatype float64() { return of(Primitive::float64); }
+  static Datatype float32() { return of(Primitive::float32); }
+
+  /// `count` consecutive elements of `old` fused into one element.
+  static Datatype contiguous(int count, const Datatype& old);
+
+  /// MPI_Type_vector: `count` blocks of `blocklen` elements, block starts
+  /// `stride` elements apart (stride in units of old's extent).
+  static Datatype vector(int count, int blocklen, int stride,
+                         const Datatype& old);
+
+  /// MPI_Type_indexed: per-block lengths and displacements in elements.
+  static Datatype indexed(std::span<const int> blocklens,
+                          std::span<const int> displs, const Datatype& old);
+
+  /// MPI_Type_create_hindexed: displacements in bytes.
+  static Datatype hindexed(std::span<const int> blocklens,
+                           std::span<const std::ptrdiff_t> byte_displs,
+                           const Datatype& old);
+
+  /// MPI_Type_create_struct: heterogeneous blocks at byte displacements.
+  static Datatype structure(std::span<const int> blocklens,
+                            std::span<const std::ptrdiff_t> byte_displs,
+                            std::span<const Datatype> types);
+
+  /// MPI_Type_create_resized: same layout, overridden extent.
+  static Datatype resized(const Datatype& old, std::ptrdiff_t new_extent);
+
+  /// MPI_Type_create_subarray (C order): an n-dimensional
+  /// `subsizes`-shaped window at `starts` inside a `sizes`-shaped array of
+  /// `old` elements. The extent spans the WHOLE array, so consecutive
+  /// elements of this type address consecutive full arrays.
+  static Datatype subarray(std::span<const int> sizes,
+                           std::span<const int> subsizes,
+                           std::span<const int> starts, const Datatype& old);
+
+  bool valid() const { return rep_ != nullptr; }
+  std::size_t size() const { return rep().size; }
+  std::ptrdiff_t extent() const { return rep().extent; }
+  bool is_contiguous() const { return rep().contiguous; }
+  Primitive leaf() const { return rep().leaf; }
+  bool homogeneous() const { return rep().homogeneous; }
+
+  /// Flattened pieces of one element.
+  std::span<const Iov> iov() const { return rep().iov; }
+
+  friend bool operator==(const Datatype& a, const Datatype& b) {
+    return a.rep_ == b.rep_;
+  }
+
+ private:
+  explicit Datatype(std::shared_ptr<const detail::TypeRep> rep)
+      : rep_(std::move(rep)) {}
+  const detail::TypeRep& rep() const {
+    expects(rep_ != nullptr, "Datatype: invalid (default-constructed) handle");
+    return *rep_;
+  }
+  std::shared_ptr<const detail::TypeRep> rep_;
+};
+
+}  // namespace mpx::dtype

@@ -1,0 +1,47 @@
+// mpx/ext/continue.hpp
+//
+// MPIX_Continue-style completion continuations (paper §5.4, Schuchart et
+// al.). Implemented INSIDE the runtime's completion path: the callback slot
+// on the request fires at the moment complete_request publishes completion,
+// with no polling loop. This is the "native" event mechanism the paper
+// compares the MPIX_Async poor-man's event loop against (§4.5): lower
+// notification latency, but executed inside the progress engine with all the
+// interference caveats the paper discusses.
+#pragma once
+
+#include <span>
+
+#include "mpx/core/request.hpp"
+#include "mpx/core/stream.hpp"
+#include "mpx/core/world.hpp"
+
+namespace mpx::ext {
+
+/// Continuation callback: invoked from within progress when the operation
+/// completes. Must be lightweight; must not invoke progress recursively.
+using ContinueCb = void (*)(const Status& status, void* cb_data);
+
+/// Create a continuation request on `stream` (MPIX_Continue_init analog).
+/// The returned request completes once every continuation attached to it has
+/// fired. Attach at least one continuation before waiting on it.
+Request continue_init(World& world, const Stream& stream);
+
+/// Attach a continuation to `op_request` (MPIX_Continue analog). If the
+/// operation already completed, the callback fires immediately in the
+/// calling context. Each operation request supports one continuation.
+/// Attaching to a completed cont_req is a usage error.
+void continue_attach(Request& op_request, ContinueCb cb, void* cb_data,
+                     Request& cont_req);
+
+/// Declare attachment finished: after this, cont_req completes as soon as
+/// every attached continuation has fired. Call exactly once per cont_req
+/// when using incremental continue_attach (continue_attach_all calls it for
+/// you).
+void continue_ready(Request& cont_req);
+
+/// Attach to many requests at once and mark the cont_req ready
+/// (MPIX_Continueall analog).
+void continue_attach_all(std::span<Request> op_requests, ContinueCb cb,
+                         void* cb_data, Request& cont_req);
+
+}  // namespace mpx::ext

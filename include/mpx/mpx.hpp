@@ -1,0 +1,28 @@
+// mpx/mpx.hpp — umbrella header for the mpx library.
+//
+// mpx reproduces "MPI Progress For All" (Zhou et al., SC 2024): an MPI-like
+// runtime with an explicit, interoperable progress engine.
+//
+// Quick tour:
+//   auto world = mpx::World::create({.nranks = 2});
+//   mpx::Comm comm = world->comm_world(my_rank);    // per-rank view
+//   mpx::Request r = comm.irecv(buf, n, mpx::dtype::Datatype::int32(), 0, 7);
+//   mpx::Stream s = world->stream_create(my_rank);  // private progress ctx
+//   mpx::async_start(poll_fn, state, s);            // user progress hook
+//   while (!r.is_complete()) mpx::stream_progress(s);
+#pragma once
+
+#include "mpx/base/clock.hpp"
+#include "mpx/base/stats.hpp"
+#include "mpx/core/async.hpp"
+#include "mpx/core/comm.hpp"
+#include "mpx/core/config.hpp"
+#include "mpx/core/info.hpp"
+#include "mpx/core/pack.hpp"
+#include "mpx/core/request.hpp"
+#include "mpx/core/stream.hpp"
+#include "mpx/core/waittest.hpp"
+#include "mpx/core/world.hpp"
+#include "mpx/dtype/datatype.hpp"
+#include "mpx/dtype/reduce_op.hpp"
+#include "mpx/dtype/segment.hpp"

@@ -1,0 +1,37 @@
+// mpx/net/cost_model.hpp
+//
+// Timing model for the simulated NIC. A classic alpha-beta (Hockney) model:
+// a message of s bytes injected at time t becomes visible at the receiver at
+//   deliver(t, s) = max(t, channel_clear_time) + alpha + s * beta
+// and the sender's buffer is released at
+//   inject(t, s)  = t + gamma + s * inj_beta
+// Per-channel FIFO is enforced (channel_clear_time) so MPI's non-overtaking
+// matching guarantee holds without sequence-number resequencing.
+#pragma once
+
+#include <cstddef>
+
+namespace mpx::net {
+
+/// Wire/injection parameters, all in seconds and seconds-per-byte.
+struct CostModel {
+  double alpha = 2e-6;       ///< one-way latency (2 us default)
+  double beta = 1e-10;       ///< inverse bandwidth (10 GB/s default)
+  double gamma = 2e-7;       ///< fixed local injection overhead (0.2 us)
+  double inj_beta = 5e-11;   ///< local injection cost per byte (20 GB/s)
+
+  /// Time at which a message of `bytes` sent at `t_send` on a channel whose
+  /// previous message clears the wire at `t_channel_clear` arrives.
+  double deliver_time(double t_send, double t_channel_clear,
+                      std::size_t bytes) const {
+    const double start = t_send > t_channel_clear ? t_send : t_channel_clear;
+    return start + alpha + static_cast<double>(bytes) * beta;
+  }
+
+  /// Time at which the sender's buffer is released after injecting at t.
+  double inject_done_time(double t, std::size_t bytes) const {
+    return t + gamma + static_cast<double>(bytes) * inj_beta;
+  }
+};
+
+}  // namespace mpx::net

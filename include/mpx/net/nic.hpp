@@ -1,0 +1,101 @@
+// mpx/net/nic.hpp
+//
+// The simulated NIC ("netmod"), last hook of the collated progress function.
+// The paper's footnote 1 applies: "NIC loosely refers to either hardware
+// operations or software emulations" — this is the software emulation.
+//
+// Key property the paper's analysis depends on: completions exist *in time*
+// (a message "arrives" when the cost model says so) but are only *observed*
+// when somebody polls. Unpolled progress therefore delays everything
+// downstream, which is exactly the phenomenon the extensions address.
+//
+// Responsibilities:
+//  - inject(): place a Msg on a directed (src, dst, vci) channel with a
+//    delivery deadline from the CostModel; optionally register a sender-side
+//    completion (cookie) that fires when the injection DMA would finish.
+//  - poll(): on (rank, vci) — deliver every due message to the sink and fire
+//    every due sender-side completion.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mpx/base/clock.hpp"
+#include "mpx/base/spinlock.hpp"
+#include "mpx/net/cost_model.hpp"
+#include "mpx/transport/msg.hpp"
+
+namespace mpx::net {
+
+/// Counters for observability and tests.
+struct NicStats {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t cq_events = 0;
+};
+
+class Nic {
+ public:
+  Nic(int nranks, int max_vcis, CostModel model, const base::Clock& clock);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  /// Inject a message. If `cookie` is nonzero, a sender-side completion event
+  /// fires (via on_send_complete on the sender's poll) when the local
+  /// injection finishes; payload buffers must stay valid until then.
+  /// If `cookie` is zero the payload was copied/owned and nothing fires.
+  void inject(transport::Msg&& m, std::uint64_t cookie);
+
+  /// Poll endpoint (rank, vci): deliver due arrivals and fire due sender-side
+  /// completion events. Sets *made_progress when anything was delivered.
+  void poll(int rank, int vci, transport::TransportSink& sink,
+            int* made_progress);
+
+  /// True when nothing is in flight to or from (rank, vci). A cheap check —
+  /// the paper notes netmod empty-polls are NOT always cheap, which is why
+  /// the collated progress function places netmod last; idle() lets the
+  /// progress engine skip it entirely when provably quiet.
+  bool idle(int rank, int vci) const;
+
+  NicStats stats() const;
+  const CostModel& model() const { return model_; }
+
+ private:
+  struct TimedMsg {
+    double due = 0.0;
+    transport::Msg msg;
+  };
+  struct CqEntry {
+    double due = 0.0;
+    std::uint64_t cookie = 0;
+  };
+  struct Channel {
+    mutable base::Spinlock mu;
+    std::deque<TimedMsg> in_flight;  // FIFO, monotonically increasing due
+    double clear_time = 0.0;         // when the previous message clears
+  };
+  struct SendCq {
+    mutable base::Spinlock mu;
+    std::deque<CqEntry> q;  // FIFO, monotonically increasing due
+  };
+
+  Channel& channel(int src, int dst, int vci);
+  const Channel& channel(int src, int dst, int vci) const;
+  SendCq& send_cq(int rank, int vci);
+  const SendCq& send_cq(int rank, int vci) const;
+
+  int nranks_;
+  int max_vcis_;
+  CostModel model_;
+  const base::Clock& clock_;
+  std::vector<Channel> channels_;  // [src][dst][vci]
+  std::vector<SendCq> send_cqs_;   // [rank][vci]
+
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> cq_events_{0};
+};
+
+}  // namespace mpx::net

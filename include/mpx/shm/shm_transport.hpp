@@ -1,0 +1,96 @@
+// mpx/shm/shm_transport.hpp
+//
+// Intra-node transport: the "shmem" subsystem of the collated progress
+// function (third hook in Listing 1.1). Models MPICH's shared-memory netmod:
+//
+//  - Eager path: fixed-capacity SPSC "cell" rings per directed (src, dst, vci)
+//    channel. A send copies its payload into an envelope and pushes it; if the
+//    ring is full the envelope parks on a sender-side pending queue that the
+//    sender's own progress retries (exactly why send-side progress matters).
+//  - Large-message path (LMT): the core protocol sends an `rts` carrying the
+//    exporter's buffer address; the receiver copies directly and replies with
+//    an `ack`. The transport just carries those control messages.
+//
+// Because ranks share one address space here, a "cell" is an owned heap
+// envelope rather than a slot in a mmap'd segment; queue discipline, capacity
+// limits, and progress behaviour are the same.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mpx/base/queue.hpp"
+#include "mpx/base/spinlock.hpp"
+#include "mpx/transport/msg.hpp"
+
+namespace mpx::shm {
+
+/// Statistics for observability and tests.
+struct ShmStats {
+  std::uint64_t sends = 0;
+  std::uint64_t ring_full_events = 0;  ///< pushes deferred to pending queue
+  std::uint64_t delivered = 0;
+};
+
+class ShmTransport {
+ public:
+  /// `nranks` endpoints, `max_vcis` channels each, rings of `cells` entries.
+  ShmTransport(int nranks, int max_vcis, std::size_t cells);
+
+  ShmTransport(const ShmTransport&) = delete;
+  ShmTransport& operator=(const ShmTransport&) = delete;
+
+  /// Send `m` from m.h.src_rank to m.h.dst_rank on channel m.h.dst_vci.
+  ///
+  /// Returns true if the message was placed in the ring immediately. Returns
+  /// false when the ring was full: the message is parked and `cookie` (if
+  /// nonzero) will be reported via on_send_complete once it drains. For
+  /// immediate placements the payload was copied out, so the operation is
+  /// already locally complete and no on_send_complete fires.
+  bool send(transport::Msg&& m, std::uint64_t cookie);
+
+  /// Poll the (rank, vci) endpoint: retry parked sends originating from this
+  /// side, then deliver arrived messages to `sink`.
+  /// Sets *made_progress when anything moved.
+  void poll(int rank, int vci, transport::TransportSink& sink,
+            int* made_progress);
+
+  /// True when the endpoint has nothing queued in any direction. Used for the
+  /// cheap "empty poll" check the paper relies on (§2.6).
+  bool idle(int rank, int vci) const;
+
+  ShmStats stats() const;
+
+ private:
+  struct Channel {
+    // SPSC discipline: only src's threads push (under src's vci lock), only
+    // dst's threads pop (under dst's vci lock); the spinlock makes the
+    // channel safe even when users progress one vci from several threads.
+    mutable base::Spinlock mu;
+    std::deque<transport::Msg> ring;
+  };
+  struct Pending {
+    mutable base::Spinlock mu;
+    std::deque<std::pair<transport::Msg, std::uint64_t>> q;
+  };
+
+  Channel& channel(int src, int dst, int vci);
+  const Channel& channel(int src, int dst, int vci) const;
+  Pending& pending(int rank, int vci);
+  const Pending& pending(int rank, int vci) const;
+
+  int nranks_;
+  int max_vcis_;
+  std::size_t cells_;
+  std::vector<Channel> channels_;  // [src][dst][vci]
+  std::vector<Pending> pending_;   // [rank][vci]
+
+  std::atomic<std::uint64_t> sends_{0};
+  std::atomic<std::uint64_t> ring_full_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+};
+
+}  // namespace mpx::shm

@@ -1,0 +1,32 @@
+// mpx/task/deadline.hpp
+//
+// Dummy deadline tasks — the paper's §4.1 measurement instrument. A dummy
+// task "completes" when the clock passes a preset deadline, simulating an
+// offloaded asynchronous job; the progress latency is the gap between the
+// deadline and the poll that first observes it. Listings 1.2/1.3 of the
+// paper, packaged for the benchmarks and examples.
+#pragma once
+
+#include <atomic>
+
+#include "mpx/base/stats.hpp"
+#include "mpx/core/async.hpp"
+#include "mpx/core/world.hpp"
+
+namespace mpx::task {
+
+/// Launch one dummy task on `stream` completing `duration_s` seconds from
+/// now. On completion (observed from within progress):
+///  - the observation latency (observe_time - deadline) is recorded into
+///    `rec` (if non-null), and
+///  - `counter` (if non-null) is decremented — the Listing 1.3 wait-counter.
+void add_dummy_task(const Stream& stream, double duration_s,
+                    std::atomic<int>* counter,
+                    base::LatencyRecorder* rec);
+
+/// As above with a caller-fixed absolute deadline (World::wtime domain).
+void add_dummy_task_abs(const Stream& stream, double deadline,
+                        std::atomic<int>* counter,
+                        base::LatencyRecorder* rec);
+
+}  // namespace mpx::task

@@ -1,0 +1,52 @@
+// mpx/task/notifier.hpp
+//
+// Request-completion event loop (paper §4.5, Listing 1.6): a single
+// MPIX_Async hook scans the watched requests with is_complete() — one atomic
+// read each, no progress side effects — and fires callbacks as completions
+// appear. The paper's "poor man's" event-driven layer; the ext::continue
+// API is the integrated alternative (abl_continue_vs_async compares them).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mpx/base/spinlock.hpp"
+#include "mpx/core/async.hpp"
+#include "mpx/core/request.hpp"
+
+namespace mpx::task {
+
+/// Completion callbacks over a dynamic set of requests.
+class RequestNotifier {
+ public:
+  explicit RequestNotifier(const Stream& stream) : stream_(stream) {}
+  ~RequestNotifier();
+
+  RequestNotifier(const RequestNotifier&) = delete;
+  RequestNotifier& operator=(const RequestNotifier&) = delete;
+
+  /// Invoke `cb(status)` (from within progress) when `r` completes.
+  void watch(Request r, std::function<void(const Status&)> cb);
+
+  /// Requests still being watched.
+  std::size_t pending() const;
+
+  /// Spin the stream's progress until no requests remain watched.
+  void drain();
+
+ private:
+  struct Entry {
+    Request req;
+    std::function<void(const Status&)> cb;
+  };
+
+  AsyncResult poll();
+  static AsyncResult trampoline(AsyncThing& thing);
+
+  Stream stream_;
+  mutable base::Spinlock mu_;
+  std::vector<Entry> entries_;
+  bool hook_active_ = false;
+};
+
+}  // namespace mpx::task

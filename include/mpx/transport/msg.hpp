@@ -1,0 +1,64 @@
+// mpx/transport/msg.hpp
+//
+// Wire-message types shared by the two transports (shared-memory and the
+// simulated NIC). Transports are dumb carriers: they move Msg values between
+// (rank, vci) endpoints and report local injection completions. All protocol
+// logic (matching, eager/rendezvous state machines) lives in mpx::core, which
+// installs a TransportSink per (rank, vci).
+#pragma once
+
+#include <cstdint>
+
+#include "mpx/base/buffer.hpp"
+
+namespace mpx::transport {
+
+/// Protocol message kinds (interpreted by the core protocol layer).
+enum class MsgKind : std::uint8_t {
+  eager = 0,  ///< complete message with inline payload
+  rts,        ///< rendezvous ready-to-send (no payload)
+  cts,        ///< rendezvous clear-to-send (receiver -> sender)
+  data,       ///< rendezvous / pipeline data chunk
+  ack,        ///< completion notification (receiver -> sender)
+};
+
+/// Fixed-size message header. Cookie fields route replies back to the peer's
+/// operation state without any global lookup table.
+struct MsgHeader {
+  MsgKind kind = MsgKind::eager;
+  std::int32_t src_rank = -1;   ///< world rank of the sender of this Msg
+  std::int32_t dst_rank = -1;   ///< world rank of the destination
+  std::int32_t src_vci = 0;     ///< originating VCI
+  std::int32_t dst_vci = 0;     ///< destination VCI
+  std::int32_t context_id = 0;  ///< communicator context (match key)
+  std::int32_t tag = 0;         ///< message tag (match key)
+  std::uint64_t total_bytes = 0;   ///< full payload size of the operation
+  std::uint64_t chunk_offset = 0;  ///< offset of this data chunk
+  std::uint64_t sender_cookie = 0; ///< sender-side op id (echoed in cts/ack)
+  std::uint64_t recver_cookie = 0; ///< receiver-side op id (echoed in data)
+  /// Shared-memory rendezvous: the exporter's buffer address ("mapped"
+  /// memory in a real shm segment; same address space here).
+  const void* shm_src = nullptr;
+};
+
+/// A wire message: header plus (optionally empty) owned payload.
+struct Msg {
+  MsgHeader h;
+  base::Buffer payload;
+};
+
+/// Events a transport reports into the core protocol layer during a poll.
+/// Implemented by core; invoked under the polling VCI's serial context.
+class TransportSink {
+ public:
+  virtual ~TransportSink() = default;
+
+  /// A message arrived for the polled (rank, vci).
+  virtual void on_msg(Msg&& m) = 0;
+
+  /// A previously-posted local injection identified by `cookie` finished
+  /// (the source buffer is no longer in use by the transport).
+  virtual void on_send_complete(std::uint64_t cookie) = 0;
+};
+
+}  // namespace mpx::transport

@@ -1,0 +1,27 @@
+#include "mpx/base/clock.hpp"
+
+#include "mpx/base/status.hpp"
+
+namespace mpx::base {
+
+SteadyClock::SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+double SteadyClock::now() const {
+  const auto dt = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(dt).count();
+}
+
+void VirtualClock::advance(double dt) {
+  expects(dt >= 0.0, "VirtualClock::advance: dt must be non-negative");
+  // Single-writer in practice; CAS loop keeps it safe for concurrent callers.
+  double cur = t_.load(std::memory_order_relaxed);
+  while (!t_.compare_exchange_weak(cur, cur + dt, std::memory_order_acq_rel)) {
+  }
+}
+
+void VirtualClock::set(double t) {
+  expects(t >= now(), "VirtualClock::set: time must not move backwards");
+  t_.store(t, std::memory_order_release);
+}
+
+}  // namespace mpx::base

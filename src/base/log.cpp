@@ -1,0 +1,40 @@
+#include "mpx/base/log.hpp"
+
+#include <cstdio>
+
+#include "mpx/base/cvar.hpp"
+
+namespace mpx::base {
+namespace {
+
+LogLevel parse_level() {
+  const std::string s = cvar_string("MPX_LOG_LEVEL", "warn");
+  if (s == "error") return LogLevel::error;
+  if (s == "info") return LogLevel::info;
+  if (s == "debug") return LogLevel::debug;
+  return LogLevel::warn;
+}
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::error: return "ERROR";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::info: return "INFO";
+    case LogLevel::debug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  static const LogLevel lvl = parse_level();
+  return lvl;
+}
+
+void log_line(LogLevel lvl, const std::string& msg) {
+  // Single fprintf call so concurrent lines do not interleave mid-line.
+  std::fprintf(stderr, "[mpx %s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace mpx::base

@@ -1,0 +1,32 @@
+#include "mpx/base/status.hpp"
+
+namespace mpx {
+
+std::string to_string(Err e) {
+  switch (e) {
+    case Err::success: return "success";
+    case Err::truncate: return "truncate";
+    case Err::pending: return "pending";
+    case Err::cancelled: return "cancelled";
+    case Err::no_match: return "no_match";
+    case Err::resource: return "resource";
+    case Err::internal: return "internal";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+[[noreturn]] void throw_usage(const char* cond, const char* file, int line) {
+  throw UsageError(std::string("precondition failed: ") + cond + " at " +
+                   file + ":" + std::to_string(line));
+}
+
+[[noreturn]] void throw_internal(const char* cond, const char* file,
+                                 int line) {
+  throw InternalError(std::string("invariant failed: ") + cond + " at " +
+                      file + ":" + std::to_string(line));
+}
+
+}  // namespace detail
+}  // namespace mpx

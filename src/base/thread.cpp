@@ -1,0 +1,13 @@
+#include "mpx/base/thread.hpp"
+
+#include <pthread.h>
+
+namespace mpx::base {
+
+void set_current_thread_name(const std::string& name) {
+  // Linux limits thread names to 15 chars + NUL; truncate silently.
+  std::string n = name.substr(0, 15);
+  pthread_setname_np(pthread_self(), n.c_str());
+}
+
+}  // namespace mpx::base

@@ -1,0 +1,703 @@
+// Collective algorithm constructions. Each i-collective builds a Sched and
+// commits it; blocking forms wait on the comm's stream.
+#include "mpx/coll/coll.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "mpx/base/cvar.hpp"
+#include "mpx/core/waittest.hpp"
+
+namespace mpx::coll {
+
+namespace {
+const std::byte in_place_tag{};
+
+void wait_blocking(Request r, const Comm& comm) {
+  wait_on_stream(r, comm.stream());
+}
+
+int floor_pow2(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+const void* const in_place = &in_place_tag;
+
+// --- barrier: dissemination ---
+
+Request ibarrier(const Comm& comm) {
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  auto byte_dt = dtype::Datatype::byte();
+  for (int dist = 1; dist < size; dist *= 2) {
+    std::byte* token = s->scratch(2);
+    s->add_isend(token, 1, byte_dt, (rank + dist) % size);
+    s->add_irecv(token + 1, 1, byte_dt, (rank - dist + size) % size);
+    s->next_round();
+  }
+  return Sched::commit(std::move(s));
+}
+
+void barrier(const Comm& comm) { wait_blocking(ibarrier(comm), comm); }
+
+// --- bcast: binomial tree (short) / pipelined chain (long) ---
+
+namespace {
+/// Crossover to the chain algorithm, overridable via MPX_BCAST_LONG_MIN.
+std::size_t bcast_long_min() {
+  static const auto v = static_cast<std::size_t>(
+      mpx::base::cvar_int("MPX_BCAST_LONG_MIN", 128 * 1024));
+  return v;
+}
+}  // namespace
+
+Request ibcast(void* buf, std::size_t count, dtype::Datatype dt, int root,
+               const Comm& comm) {
+  if (count * dt.size() >= bcast_long_min() && comm.size() > 2) {
+    return ibcast_chain(buf, count, std::move(dt), root, comm);
+  }
+  return ibcast_binomial(buf, count, std::move(dt), root, comm);
+}
+
+Request ibcast_binomial(void* buf, std::size_t count, dtype::Datatype dt,
+                        int root, const Comm& comm) {
+  expects(root >= 0 && root < comm.size(), "ibcast: root out of range");
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const int relative = (comm.rank() - root + size) % size;
+
+  // Receive from the parent (lowest set bit), then fan out to children.
+  int mask = 1;
+  while (mask < size) {
+    if ((relative & mask) != 0) {
+      const int parent = (relative - mask + root + size) % size;
+      s->add_irecv(buf, count, dt, parent);
+      s->next_round();
+      break;
+    }
+    mask *= 2;
+  }
+  mask /= 2;
+  while (mask > 0) {
+    if (relative + mask < size) {
+      const int child = (relative + mask + root) % size;
+      s->add_isend(buf, count, dt, child);
+    }
+    mask /= 2;
+  }
+  return Sched::commit(std::move(s));
+}
+
+void bcast(void* buf, std::size_t count, dtype::Datatype dt, int root,
+           const Comm& comm) {
+  wait_blocking(ibcast(buf, count, std::move(dt), root, comm), comm);
+}
+
+Request ibcast_chain(void* buf, std::size_t count, dtype::Datatype dt,
+                     int root, const Comm& comm, std::size_t chunk_bytes) {
+  expects(root >= 0 && root < comm.size(), "ibcast_chain: root out of range");
+  expects(dt.is_contiguous(), "ibcast_chain: requires contiguous datatypes");
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const std::size_t esz = dt.size();
+  if (chunk_bytes == 0) chunk_bytes = 64 * 1024;
+  const std::size_t chunk_elems =
+      std::max<std::size_t>(1, chunk_bytes / (esz == 0 ? 1 : esz));
+  const std::size_t nchunks =
+      count == 0 ? 0 : (count + chunk_elems - 1) / chunk_elems;
+
+  // Chain order relative to the root.
+  const int pos = (comm.rank() - root + size) % size;
+  const int prev = (comm.rank() - 1 + size) % size;
+  const int next = (comm.rank() + 1) % size;
+  auto* bytes = static_cast<std::byte*>(buf);
+  auto chunk_at = [&](std::size_t c) {
+    const std::size_t lo = c * chunk_elems;
+    const std::size_t n = std::min(chunk_elems, count - lo);
+    return std::pair<std::byte*, std::size_t>(bytes + lo * esz, n);
+  };
+
+  // Software pipeline: round k forwards chunk k-1 while receiving chunk k,
+  // so the transfer of one chunk overlaps the arrival of the next.
+  for (std::size_t k = 0; k <= nchunks; ++k) {
+    if (k > 0 && pos < size - 1) {
+      auto [p, n] = chunk_at(k - 1);
+      s->add_isend(p, n, dt, next);
+    }
+    if (k < nchunks && pos > 0) {
+      auto [p, n] = chunk_at(k);
+      s->add_irecv(p, n, dt, prev);
+    }
+    s->next_round();
+  }
+  return Sched::commit(std::move(s));
+}
+
+// --- reduce: binomial tree (commutative) ---
+
+Request ireduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                dtype::Datatype dt, dtype::ReduceOp op, int root,
+                const Comm& comm) {
+  expects(root >= 0 && root < comm.size(), "ireduce: root out of range");
+  expects(dt.is_contiguous(),
+          "ireduce: reductions require contiguous datatypes");
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int relative = (rank - root + size) % size;
+  const std::size_t bytes = count * dt.size();
+
+  // Accumulator: root reduces directly into recvbuf; others into scratch.
+  std::byte* acc =
+      rank == root ? static_cast<std::byte*>(recvbuf) : s->scratch(bytes);
+  const void* init = sendbuf == in_place ? recvbuf : sendbuf;
+  if (static_cast<const void*>(acc) != init) {
+    std::memcpy(acc, init, bytes);  // capture input at call time
+  }
+
+  int mask = 1;
+  while (mask < size) {
+    if ((relative & mask) == 0) {
+      const int child_rel = relative | mask;
+      if (child_rel < size) {
+        const int child = (child_rel + root) % size;
+        std::byte* tmp = s->scratch(bytes);
+        s->add_irecv(tmp, count, dt, child);
+        s->add_reduce(tmp, acc, count, dt, op);
+        s->next_round();
+      }
+    } else {
+      const int parent = ((relative & ~mask) + root) % size;
+      s->add_isend(acc, count, dt, parent);
+      s->next_round();
+      break;
+    }
+    mask *= 2;
+  }
+  return Sched::commit(std::move(s));
+}
+
+void reduce(const void* sendbuf, void* recvbuf, std::size_t count,
+            dtype::Datatype dt, dtype::ReduceOp op, int root,
+            const Comm& comm) {
+  wait_blocking(ireduce(sendbuf, recvbuf, count, std::move(dt), op, root,
+                        comm),
+                comm);
+}
+
+// --- allreduce: recursive doubling with non-pow2 fold ---
+
+Request iallreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                   dtype::Datatype dt, dtype::ReduceOp op, const Comm& comm) {
+  expects(dt.is_contiguous(),
+          "iallreduce: reductions require contiguous datatypes");
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const std::size_t bytes = count * dt.size();
+
+  std::byte* acc = static_cast<std::byte*>(recvbuf);
+  if (sendbuf != in_place) std::memcpy(acc, sendbuf, bytes);
+
+  const int pow2 = floor_pow2(size);
+  const int rem = size - pow2;
+
+  // Phase A: fold the first 2*rem ranks pairwise so pow2 ranks remain.
+  // Even ranks < 2*rem hand their data to rank+1 and sit out.
+  int newrank;
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      s->add_isend(acc, count, dt, rank + 1);
+      s->next_round();
+      newrank = -1;
+    } else {
+      std::byte* tmp = s->scratch(bytes);
+      s->add_irecv(tmp, count, dt, rank - 1);
+      s->add_reduce(tmp, acc, count, dt, op);
+      s->next_round();
+      newrank = rank / 2;
+    }
+  } else {
+    newrank = rank - rem;
+  }
+
+  // Phase B: recursive doubling among the pow2 participants.
+  if (newrank >= 0) {
+    for (int mask = 1; mask < pow2; mask *= 2) {
+      const int peer_new = newrank ^ mask;
+      const int peer = peer_new < rem ? peer_new * 2 + 1 : peer_new + rem;
+      std::byte* tmp = s->scratch(bytes);
+      s->add_isend(acc, count, dt, peer);
+      s->add_irecv(tmp, count, dt, peer);
+      s->add_reduce(tmp, acc, count, dt, op);
+      s->next_round();
+    }
+  }
+
+  // Phase C: hand the result back to the folded-out even ranks.
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      s->add_irecv(acc, count, dt, rank + 1);
+    } else {
+      s->add_isend(acc, count, dt, rank - 1);
+    }
+    s->next_round();
+  }
+  return Sched::commit(std::move(s));
+}
+
+void allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+               dtype::Datatype dt, dtype::ReduceOp op, const Comm& comm) {
+  wait_blocking(iallreduce(sendbuf, recvbuf, count, std::move(dt), op, comm),
+                comm);
+}
+
+// --- allreduce: ring (reduce-scatter + allgather) ---
+
+Request iallreduce_ring(const void* sendbuf, void* recvbuf, std::size_t count,
+                        dtype::Datatype dt, dtype::ReduceOp op,
+                        const Comm& comm) {
+  expects(dt.is_contiguous(),
+          "iallreduce_ring: reductions require contiguous datatypes");
+  const int size = comm.size();
+  const int rank = comm.rank();
+  if (size == 1 || count < static_cast<std::size_t>(size)) {
+    // Fall back for tiny payloads where per-rank blocks would be empty.
+    return iallreduce(sendbuf, recvbuf, count, std::move(dt), op, comm);
+  }
+  auto s = std::make_unique<Sched>(comm);
+  const std::size_t esz = dt.size();
+  std::byte* acc = static_cast<std::byte*>(recvbuf);
+  if (sendbuf != in_place) std::memcpy(acc, sendbuf, count * esz);
+
+  // Partition [0, count) into `size` blocks.
+  auto block_lo = [&](int b) {
+    return (count * static_cast<std::size_t>(b)) /
+           static_cast<std::size_t>(size);
+  };
+  auto block_n = [&](int b) { return block_lo(b + 1) - block_lo(b); };
+
+  const int next = (rank + 1) % size;
+  const int prev = (rank - 1 + size) % size;
+
+  // Reduce-scatter: step k sends block (rank-k) and reduces block (rank-k-1).
+  for (int k = 0; k < size - 1; ++k) {
+    const int sb = (rank - k + size) % size;
+    const int rb = (rank - k - 1 + size) % size;
+    std::byte* tmp = s->scratch(block_n(rb) * esz);
+    s->add_isend(acc + block_lo(sb) * esz, block_n(sb), dt, next);
+    s->add_irecv(tmp, block_n(rb), dt, prev);
+    s->add_reduce(tmp, acc + block_lo(rb) * esz, block_n(rb), dt, op);
+    s->next_round();
+  }
+  // Allgather: circulate the finished blocks around the ring.
+  for (int k = 0; k < size - 1; ++k) {
+    const int sb = (rank + 1 - k + size) % size;
+    const int rb = (rank - k + size) % size;
+    s->add_isend(acc + block_lo(sb) * esz, block_n(sb), dt, next);
+    s->add_irecv(acc + block_lo(rb) * esz, block_n(rb), dt, prev);
+    s->next_round();
+  }
+  return Sched::commit(std::move(s));
+}
+
+// --- allgather: ring ---
+
+Request iallgather(const void* sendbuf, std::size_t count, dtype::Datatype dt,
+                   void* recvbuf, const Comm& comm) {
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const std::size_t block = count * dt.size();
+  auto* out = static_cast<std::byte*>(recvbuf);
+
+  if (sendbuf != in_place) {
+    std::memcpy(out + static_cast<std::size_t>(rank) * block, sendbuf, block);
+  }
+  const int next = (rank + 1) % size;
+  const int prev = (rank - 1 + size) % size;
+  for (int k = 0; k < size - 1; ++k) {
+    const int sb = (rank - k + size) % size;
+    const int rb = (rank - k - 1 + size) % size;
+    s->add_isend(out + static_cast<std::size_t>(sb) * block, count, dt, next);
+    s->add_irecv(out + static_cast<std::size_t>(rb) * block, count, dt, prev);
+    s->next_round();
+  }
+  return Sched::commit(std::move(s));
+}
+
+void allgather(const void* sendbuf, std::size_t count, dtype::Datatype dt,
+               void* recvbuf, const Comm& comm) {
+  wait_blocking(iallgather(sendbuf, count, std::move(dt), recvbuf, comm),
+                comm);
+}
+
+// --- gather / scatter: linear ---
+
+Request igather(const void* sendbuf, std::size_t count, dtype::Datatype dt,
+                void* recvbuf, int root, const Comm& comm) {
+  expects(root >= 0 && root < comm.size(), "igather: root out of range");
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const std::size_t block = count * dt.size();
+  if (rank == root) {
+    auto* out = static_cast<std::byte*>(recvbuf);
+    for (int i = 0; i < size; ++i) {
+      if (i == rank) continue;
+      s->add_irecv(out + static_cast<std::size_t>(i) * block, count, dt, i);
+    }
+    if (sendbuf != in_place) {
+      std::memcpy(out + static_cast<std::size_t>(rank) * block, sendbuf,
+                  block);
+    }
+  } else {
+    s->add_isend(sendbuf, count, dt, root);
+  }
+  return Sched::commit(std::move(s));
+}
+
+void gather(const void* sendbuf, std::size_t count, dtype::Datatype dt,
+            void* recvbuf, int root, const Comm& comm) {
+  wait_blocking(igather(sendbuf, count, std::move(dt), recvbuf, root, comm),
+                comm);
+}
+
+Request iscatter(const void* sendbuf, std::size_t count, dtype::Datatype dt,
+                 void* recvbuf, int root, const Comm& comm) {
+  expects(root >= 0 && root < comm.size(), "iscatter: root out of range");
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const std::size_t block = count * dt.size();
+  if (rank == root) {
+    const auto* in = static_cast<const std::byte*>(sendbuf);
+    for (int i = 0; i < size; ++i) {
+      if (i == rank) continue;
+      s->add_isend(in + static_cast<std::size_t>(i) * block, count, dt, i);
+    }
+    if (recvbuf != in_place) {
+      std::memcpy(recvbuf, in + static_cast<std::size_t>(rank) * block,
+                  block);
+    }
+  } else {
+    s->add_irecv(recvbuf, count, dt, root);
+  }
+  return Sched::commit(std::move(s));
+}
+
+void scatter(const void* sendbuf, std::size_t count, dtype::Datatype dt,
+             void* recvbuf, int root, const Comm& comm) {
+  wait_blocking(iscatter(sendbuf, count, std::move(dt), recvbuf, root, comm),
+                comm);
+}
+
+// --- alltoall: pairwise rotation ---
+
+Request ialltoall(const void* sendbuf, std::size_t count, dtype::Datatype dt,
+                  void* recvbuf, const Comm& comm) {
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const std::size_t block = count * dt.size();
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+
+  std::memcpy(out + static_cast<std::size_t>(rank) * block,
+              in + static_cast<std::size_t>(rank) * block, block);
+  for (int k = 1; k < size; ++k) {
+    const int dst = (rank + k) % size;
+    const int src = (rank - k + size) % size;
+    s->add_isend(in + static_cast<std::size_t>(dst) * block, count, dt, dst);
+    s->add_irecv(out + static_cast<std::size_t>(src) * block, count, dt, src);
+    s->next_round();
+  }
+  return Sched::commit(std::move(s));
+}
+
+void alltoall(const void* sendbuf, std::size_t count, dtype::Datatype dt,
+              void* recvbuf, const Comm& comm) {
+  wait_blocking(ialltoall(sendbuf, count, std::move(dt), recvbuf, comm),
+                comm);
+}
+
+// --- reduce_scatter_block: ring reduce-scatter ---
+
+Request ireduce_scatter_block(const void* sendbuf, void* recvbuf,
+                              std::size_t recvcount, dtype::Datatype dt,
+                              dtype::ReduceOp op, const Comm& comm) {
+  expects(dt.is_contiguous(),
+          "ireduce_scatter_block: requires contiguous datatypes");
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const std::size_t esz = dt.size();
+  const std::size_t block = recvcount * esz;
+
+  // Work on a schedule-owned copy of the full input vector.
+  std::byte* acc = s->scratch(block * static_cast<std::size_t>(size));
+  const void* init = sendbuf == in_place ? recvbuf : sendbuf;
+  std::memcpy(acc, init, block * static_cast<std::size_t>(size));
+
+  const int next = (rank + 1) % size;
+  const int prev = (rank - 1 + size) % size;
+  // Step k: send block (rank - k - 1), receive + reduce block
+  // (rank - k - 2). Partial reductions move up the ring one hop per step;
+  // with this phase shift each rank reduces ITS OWN block on the final
+  // step, so no post-rotation is needed.
+  for (int k = 0; k < size - 1; ++k) {
+    const int sb = (rank - k - 1 + 2 * size) % size;
+    const int rb = (rank - k - 2 + 2 * size) % size;
+    std::byte* tmp = s->scratch(block);
+    s->add_isend(acc + static_cast<std::size_t>(sb) * block, recvcount, dt,
+                 next);
+    s->add_irecv(tmp, recvcount, dt, prev);
+    s->add_reduce(tmp, acc + static_cast<std::size_t>(rb) * block, recvcount,
+                  dt, op);
+    s->next_round();
+  }
+  s->add_copy(acc + static_cast<std::size_t>(rank) * block, recvbuf, block);
+  return Sched::commit(std::move(s));
+}
+
+void reduce_scatter_block(const void* sendbuf, void* recvbuf,
+                          std::size_t recvcount, dtype::Datatype dt,
+                          dtype::ReduceOp op, const Comm& comm) {
+  wait_blocking(ireduce_scatter_block(sendbuf, recvbuf, recvcount,
+                                      std::move(dt), op, comm),
+                comm);
+}
+
+// --- scan: linear chain (latency O(P), simple and robust) ---
+
+Request iscan(const void* sendbuf, void* recvbuf, std::size_t count,
+              dtype::Datatype dt, dtype::ReduceOp op, const Comm& comm) {
+  expects(dt.is_contiguous(), "iscan: requires contiguous datatypes");
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const std::size_t bytes = count * dt.size();
+
+  std::byte* acc = static_cast<std::byte*>(recvbuf);
+  if (sendbuf != in_place) std::memcpy(acc, sendbuf, bytes);
+
+  if (rank > 0) {
+    std::byte* tmp = s->scratch(bytes);
+    s->add_irecv(tmp, count, dt, rank - 1);
+    s->add_reduce(tmp, acc, count, dt, op);
+    s->next_round();
+  }
+  if (rank < size - 1) {
+    s->add_isend(acc, count, dt, rank + 1);
+  }
+  return Sched::commit(std::move(s));
+}
+
+void scan(const void* sendbuf, void* recvbuf, std::size_t count,
+          dtype::Datatype dt, dtype::ReduceOp op, const Comm& comm) {
+  wait_blocking(iscan(sendbuf, recvbuf, count, std::move(dt), op, comm),
+                comm);
+}
+
+Request iexscan(const void* sendbuf, void* recvbuf, std::size_t count,
+                dtype::Datatype dt, dtype::ReduceOp op, const Comm& comm) {
+  expects(dt.is_contiguous(), "iexscan: requires contiguous datatypes");
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const std::size_t bytes = count * dt.size();
+
+  // Forward value: op(x_0..x_rank), built from the received prefix and our
+  // own contribution; travels down the chain.
+  std::byte* fwd = s->scratch(bytes);
+  std::memcpy(fwd, sendbuf == in_place ? recvbuf : sendbuf, bytes);
+
+  if (rank > 0) {
+    // Receive the exclusive prefix directly into recvbuf (the result),
+    // then fold it into the forward value.
+    s->add_irecv(recvbuf, count, dt, rank - 1);
+    s->add_reduce(recvbuf, fwd, count, dt, op);
+    s->next_round();
+  }
+  if (rank < size - 1) {
+    s->add_isend(fwd, count, dt, rank + 1);
+  }
+  return Sched::commit(std::move(s));
+}
+
+void exscan(const void* sendbuf, void* recvbuf, std::size_t count,
+            dtype::Datatype dt, dtype::ReduceOp op, const Comm& comm) {
+  wait_blocking(iexscan(sendbuf, recvbuf, count, std::move(dt), op, comm),
+                comm);
+}
+
+// --- persistent collectives ---
+
+namespace {
+
+/// Wrap an i-collective launcher into a persistent handle. Each start()
+/// re-runs the launcher; since every member starts its persistent op in the
+/// same order (an MPI requirement), per-cycle collective tags line up.
+Request make_persistent_coll(const Comm& comm,
+                             std::function<Request()> launch) {
+  return make_persistent_generic(
+      comm.world(), comm.stream(),
+      [launch = std::move(launch)]() {
+        Request r = launch();
+        return base::Ref<core_detail::RequestImpl>::share(r.impl());
+      });
+}
+
+}  // namespace
+
+Request barrier_init(const Comm& comm) {
+  expects(comm.valid(), "barrier_init: invalid communicator");
+  return make_persistent_coll(comm, [comm] { return ibarrier(comm); });
+}
+
+Request bcast_init(void* buf, std::size_t count, dtype::Datatype dt,
+                   int root, const Comm& comm) {
+  expects(comm.valid() && root >= 0 && root < comm.size(),
+          "bcast_init: bad arguments");
+  return make_persistent_coll(comm, [=] {
+    return ibcast(buf, count, dt, root, comm);
+  });
+}
+
+Request allreduce_init(const void* sendbuf, void* recvbuf, std::size_t count,
+                       dtype::Datatype dt, dtype::ReduceOp op,
+                       const Comm& comm) {
+  expects(comm.valid() && dt.is_contiguous(),
+          "allreduce_init: bad arguments");
+  return make_persistent_coll(comm, [=] {
+    return iallreduce(sendbuf, recvbuf, count, dt, op, comm);
+  });
+}
+
+// --- v-variants ---
+
+Request igatherv(const void* sendbuf, std::size_t sendcount,
+                 dtype::Datatype dt, void* recvbuf,
+                 std::span<const std::size_t> recvcounts,
+                 std::span<const std::size_t> displs, int root,
+                 const Comm& comm) {
+  expects(root >= 0 && root < comm.size(), "igatherv: root out of range");
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const std::size_t esz = dt.size();
+  if (rank == root) {
+    expects(static_cast<int>(recvcounts.size()) == size &&
+                static_cast<int>(displs.size()) == size,
+            "igatherv: counts/displs must have one entry per rank");
+    auto* out = static_cast<std::byte*>(recvbuf);
+    for (int i = 0; i < size; ++i) {
+      if (i == rank) continue;
+      s->add_irecv(out + displs[static_cast<std::size_t>(i)] * esz,
+                   recvcounts[static_cast<std::size_t>(i)], dt, i);
+    }
+    if (sendbuf != in_place) {
+      std::memcpy(out + displs[static_cast<std::size_t>(rank)] * esz,
+                  sendbuf, sendcount * esz);
+    }
+  } else {
+    s->add_isend(sendbuf, sendcount, dt, root);
+  }
+  return Sched::commit(std::move(s));
+}
+
+void gatherv(const void* sendbuf, std::size_t sendcount, dtype::Datatype dt,
+             void* recvbuf, std::span<const std::size_t> recvcounts,
+             std::span<const std::size_t> displs, int root,
+             const Comm& comm) {
+  wait_blocking(igatherv(sendbuf, sendcount, std::move(dt), recvbuf,
+                         recvcounts, displs, root, comm),
+                comm);
+}
+
+Request iscatterv(const void* sendbuf,
+                  std::span<const std::size_t> sendcounts,
+                  std::span<const std::size_t> displs, dtype::Datatype dt,
+                  void* recvbuf, std::size_t recvcount, int root,
+                  const Comm& comm) {
+  expects(root >= 0 && root < comm.size(), "iscatterv: root out of range");
+  auto s = std::make_unique<Sched>(comm);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const std::size_t esz = dt.size();
+  if (rank == root) {
+    expects(static_cast<int>(sendcounts.size()) == size &&
+                static_cast<int>(displs.size()) == size,
+            "iscatterv: counts/displs must have one entry per rank");
+    const auto* in = static_cast<const std::byte*>(sendbuf);
+    for (int i = 0; i < size; ++i) {
+      if (i == rank) continue;
+      s->add_isend(in + displs[static_cast<std::size_t>(i)] * esz,
+                   sendcounts[static_cast<std::size_t>(i)], dt, i);
+    }
+    if (recvbuf != in_place) {
+      std::memcpy(recvbuf, in + displs[static_cast<std::size_t>(rank)] * esz,
+                  sendcounts[static_cast<std::size_t>(rank)] * esz);
+    }
+  } else {
+    s->add_irecv(recvbuf, recvcount, dt, root);
+  }
+  return Sched::commit(std::move(s));
+}
+
+void scatterv(const void* sendbuf, std::span<const std::size_t> sendcounts,
+              std::span<const std::size_t> displs, dtype::Datatype dt,
+              void* recvbuf, std::size_t recvcount, int root,
+              const Comm& comm) {
+  wait_blocking(iscatterv(sendbuf, sendcounts, displs, std::move(dt),
+                          recvbuf, recvcount, root, comm),
+                comm);
+}
+
+Request iallgatherv(const void* sendbuf, std::size_t sendcount,
+                    dtype::Datatype dt, void* recvbuf,
+                    std::span<const std::size_t> recvcounts,
+                    std::span<const std::size_t> displs, const Comm& comm) {
+  const int size = comm.size();
+  expects(static_cast<int>(recvcounts.size()) == size &&
+              static_cast<int>(displs.size()) == size,
+          "iallgatherv: counts/displs must have one entry per rank");
+  auto s = std::make_unique<Sched>(comm);
+  const int rank = comm.rank();
+  const std::size_t esz = dt.size();
+  auto* out = static_cast<std::byte*>(recvbuf);
+
+  if (sendbuf != in_place) {
+    std::memcpy(out + displs[static_cast<std::size_t>(rank)] * esz, sendbuf,
+                sendcount * esz);
+  }
+  const int next = (rank + 1) % size;
+  const int prev = (rank - 1 + size) % size;
+  // Ring with per-block counts: step k forwards block (rank - k).
+  for (int k = 0; k < size - 1; ++k) {
+    const auto sb = static_cast<std::size_t>((rank - k + size) % size);
+    const auto rb = static_cast<std::size_t>((rank - k - 1 + size) % size);
+    s->add_isend(out + displs[sb] * esz, recvcounts[sb], dt, next);
+    s->add_irecv(out + displs[rb] * esz, recvcounts[rb], dt, prev);
+    s->next_round();
+  }
+  return Sched::commit(std::move(s));
+}
+
+void allgatherv(const void* sendbuf, std::size_t sendcount,
+                dtype::Datatype dt, void* recvbuf,
+                std::span<const std::size_t> recvcounts,
+                std::span<const std::size_t> displs, const Comm& comm) {
+  wait_blocking(iallgatherv(sendbuf, sendcount, std::move(dt), recvbuf,
+                            recvcounts, displs, comm),
+                comm);
+}
+
+}  // namespace mpx::coll

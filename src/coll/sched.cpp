@@ -1,0 +1,139 @@
+#include "mpx/coll/sched.hpp"
+
+#include <cstring>
+
+#include "mpx/core/async.hpp"
+#include "mpx/core/world.hpp"
+
+namespace mpx::coll {
+
+Sched::Sched(const Comm& comm)
+    : comm_(comm.coll_view()), tag_(comm.next_coll_tag()) {}
+
+void Sched::add_isend(const void* buf, std::size_t count, dtype::Datatype dt,
+                      int dst, int tag_offset) {
+  expects(tag_offset >= 0 && tag_offset < 64, "Sched: tag_offset must be < 64");
+  CommOp op;
+  op.is_send = true;
+  op.sbuf = buf;
+  op.count = count;
+  op.dt = std::move(dt);
+  op.peer = dst;
+  op.tag_offset = tag_offset;
+  cur().comm_ops.push_back(std::move(op));
+}
+
+void Sched::add_irecv(void* buf, std::size_t count, dtype::Datatype dt,
+                      int src, int tag_offset) {
+  expects(tag_offset >= 0 && tag_offset < 64, "Sched: tag_offset must be < 64");
+  CommOp op;
+  op.rbuf = buf;
+  op.count = count;
+  op.dt = std::move(dt);
+  op.peer = src;
+  op.tag_offset = tag_offset;
+  cur().comm_ops.push_back(std::move(op));
+}
+
+void Sched::add_copy(const void* src, void* dst, std::size_t bytes) {
+  PostOp op;
+  op.kind = PostOp::Kind::copy;
+  op.in = src;
+  op.out = dst;
+  op.bytes = bytes;
+  cur().post_ops.push_back(std::move(op));
+}
+
+void Sched::add_reduce(const void* in, void* inout, std::size_t count,
+                       dtype::Datatype dt, dtype::ReduceOp rop) {
+  PostOp op;
+  op.kind = PostOp::Kind::reduce;
+  op.in = in;
+  op.out = inout;
+  op.count = count;
+  op.dt = std::move(dt);
+  op.op = rop;
+  cur().post_ops.push_back(std::move(op));
+}
+
+void Sched::add_fn(std::function<void()> fn) {
+  PostOp op;
+  op.kind = PostOp::Kind::fn;
+  op.fn = std::move(fn);
+  cur().post_ops.push_back(std::move(op));
+}
+
+void Sched::next_round() { rounds_.emplace_back(); }
+
+std::byte* Sched::scratch(std::size_t bytes) {
+  scratch_.emplace_back(bytes);
+  return scratch_.back().data();
+}
+
+void Sched::issue_round(std::size_t idx) {
+  Round& r = rounds_[idx];
+  r.reqs.reserve(r.comm_ops.size());
+  for (const CommOp& op : r.comm_ops) {
+    if (op.is_send) {
+      r.reqs.push_back(
+          comm_.isend(op.sbuf, op.count, op.dt, op.peer, tag_ + op.tag_offset));
+    } else {
+      r.reqs.push_back(
+          comm_.irecv(op.rbuf, op.count, op.dt, op.peer, tag_ + op.tag_offset));
+    }
+  }
+}
+
+bool Sched::poll() {
+  if (!started_) {
+    started_ = true;
+    issue_round(0);
+  }
+  for (;;) {
+    Round& r = rounds_[cur_round_];
+    for (const Request& rq : r.reqs) {
+      if (!rq.is_complete()) return false;  // wait; no progress side effects
+    }
+    for (const PostOp& op : r.post_ops) {
+      switch (op.kind) {
+        case PostOp::Kind::copy:
+          std::memcpy(op.out, op.in, op.bytes);
+          break;
+        case PostOp::Kind::reduce:
+          dtype::reduce_apply(op.op, op.in, op.out, op.count, op.dt);
+          break;
+        case PostOp::Kind::fn:
+          op.fn();
+          break;
+      }
+    }
+    if (++cur_round_ == rounds_.size()) return true;
+    issue_round(cur_round_);
+    // Loop: the new round's requests may already be complete (e.g. buffered
+    // sends or already-arrived eager data), letting short schedules finish
+    // within one poll.
+  }
+}
+
+AsyncResult Sched::poll_trampoline(AsyncThing& thing) {
+  auto* s = static_cast<Sched*>(thing.state());
+  if (!s->poll()) return AsyncResult::pending;
+  Request handle = std::move(s->handle_);
+  delete s;
+  World::grequest_complete(handle);
+  return AsyncResult::done;
+}
+
+Request Sched::commit(std::unique_ptr<Sched> sched) {
+  expects(sched != nullptr, "Sched::commit: null schedule");
+  Sched* s = sched.release();
+  if (s->rounds_.empty()) s->rounds_.emplace_back();
+  World& w = s->comm_.world();
+  const Stream stream = s->comm_.stream();
+  s->handle_ = w.grequest_start(stream, core_detail::GrequestFns{});
+  Request out = s->handle_;
+  coll_hook_start(&Sched::poll_trampoline, s, stream);
+  return out;
+}
+
+}  // namespace mpx::coll

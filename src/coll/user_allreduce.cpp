@@ -1,0 +1,85 @@
+// Faithful port of the paper's Listing 1.8.
+#include "mpx/coll/user_allreduce.hpp"
+
+#include <cstdint>
+
+#include "mpx/core/async.hpp"
+#include "mpx/core/waittest.hpp"
+
+namespace mpx::coll {
+namespace {
+
+struct MyAllreduce {
+  std::int32_t* buf = nullptr;
+  std::int32_t* tmp_buf = nullptr;
+  std::size_t count = 0;
+  Comm comm;
+  int rank = 0;
+  int size = 0;
+  int tag = 0;
+  int mask = 1;
+  Request reqs[2];  ///< send + recv request for the current round
+  bool* done_ptr = nullptr;
+};
+
+AsyncResult my_allreduce_poll(AsyncThing& thing) {
+  auto* p = static_cast<MyAllreduce*>(thing.state());
+  int req_done = 0;
+  for (Request& r : p->reqs) {
+    if (!r.valid()) {
+      ++req_done;
+    } else if (r.is_complete()) {  // no progress side effects (§3.4)
+      r.reset();
+      ++req_done;
+    }
+  }
+  if (req_done != 2) return AsyncResult::noprogress;
+
+  if (p->mask > 1) {
+    for (std::size_t i = 0; i < p->count; ++i) p->buf[i] += p->tmp_buf[i];
+  }
+  if (p->mask == p->size) {
+    *(p->done_ptr) = true;
+    delete[] p->tmp_buf;
+    delete p;
+    return AsyncResult::done;
+  }
+  const int dst = p->rank ^ p->mask;
+  p->reqs[0] = p->comm.irecv(p->tmp_buf, p->count,
+                             dtype::Datatype::int32(), dst, p->tag);
+  p->reqs[1] = p->comm.isend(p->buf, p->count, dtype::Datatype::int32(), dst,
+                             p->tag);
+  p->mask <<= 1;
+  return AsyncResult::noprogress;
+}
+
+}  // namespace
+
+void user_allreduce_int_sum_start(void* buf, std::size_t count,
+                                  const Comm& comm, bool* done) {
+  const int size = comm.size();
+  expects((size & (size - 1)) == 0,
+          "user_allreduce: communicator size must be a power of two");
+  auto* p = new MyAllreduce();
+  p->buf = static_cast<std::int32_t*>(buf);
+  p->count = count;
+  p->tmp_buf = new std::int32_t[count == 0 ? 1 : count];
+  // Use the collective context so concurrent user p2p cannot interfere.
+  p->comm = comm.coll_view();
+  p->rank = comm.rank();
+  p->size = size;
+  p->mask = 1;
+  p->tag = comm.next_coll_tag();
+  *done = false;
+  p->done_ptr = done;
+  async_start(&my_allreduce_poll, p, comm.stream());
+}
+
+void user_allreduce_int_sum(void* buf, std::size_t count, const Comm& comm) {
+  bool done = false;
+  user_allreduce_int_sum_start(buf, count, comm, &done);
+  const Stream s = comm.stream();
+  while (!done) stream_progress(s);
+}
+
+}  // namespace mpx::coll

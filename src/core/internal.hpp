@@ -1,0 +1,218 @@
+// src/core/internal.hpp
+//
+// Core-internal structures: VCIs, rank contexts, communicator impls, the
+// unexpected-message queue, and the helper APIs shared by the progress
+// engine, the protocol layer, and the public wrappers.
+//
+// LOCKING MODEL. Each VCI owns one InstrumentedMutex (`mu`, a recursive
+// mutex). Every state mutation of the VCI — posting receives, matching,
+// polling hooks, progressing transports for that endpoint — happens under
+// it. Operations issued from inside poll callbacks re-enter the same lock
+// (hence recursive), matching MPICH's owner-tracked VCI locks. Transports
+// have their own fine-grained spinlocks; lock order is always VCI -> channel
+// and never the reverse.
+#pragma once
+
+#include <any>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpx/base/instrumented_mutex.hpp"
+#include "mpx/base/intrusive.hpp"
+#include "mpx/base/queue.hpp"
+#include "mpx/core/async.hpp"
+#include "mpx/core/detail/request_impl.hpp"
+#include "mpx/core/world.hpp"
+#include "mpx/dtype/pack_engine.hpp"
+#include "mpx/dtype/segment.hpp"
+#include "mpx/transport/msg.hpp"
+
+namespace mpx::core_detail {
+
+/// Accessor shim for AsyncThing's private internals (declared friend).
+struct AsyncRuntime {
+  using List = base::IntrusiveList<AsyncThing, &AsyncThing::hook_>;
+
+  static AsyncThing* make(AsyncPollFn fn, void* state, const Stream& s) {
+    auto* t = new AsyncThing();
+    t->fn_ = fn;
+    t->state_ = state;
+    t->stream_ = s;
+    return t;
+  }
+  static AsyncPollFn fn(AsyncThing& t) { return t.fn_; }
+  static std::vector<AsyncThing::SpawnRec> take_spawned(AsyncThing& t) {
+    return std::move(t.spawned_);
+  }
+  static bool has_spawned(const AsyncThing& t) { return !t.spawned_.empty(); }
+};
+
+/// An unexpected message (eager payload or rendezvous RTS) parked until a
+/// matching receive is posted.
+struct UnexpMsg {
+  base::ListHook hook;
+  transport::Msg msg;
+};
+
+/// Receiver-side large-message copy work for the shared-memory LMT path:
+/// copies `total` bytes from the exporter's buffer into the receive buffer
+/// one chunk per progress poll, then acks the sender.
+struct LmtWork {
+  base::Ref<RequestImpl> rreq;
+  const std::byte* src = nullptr;
+  std::uint64_t total = 0;
+  std::uint64_t done = 0;
+  std::unique_ptr<dtype::Segment> seg;  ///< non-contiguous receive cursor
+  std::uint64_t sender_cookie = 0;
+  std::int32_t sender_rank = -1;
+  std::int32_t sender_vci = 0;
+};
+
+/// One virtual communication interface: the serial execution context behind
+/// an MPIX_Stream. VCI 0 is the default (MPIX_STREAM_NULL) context.
+struct Vci {
+  ~Vci();
+
+  int id = 0;
+  int rank = -1;
+  World* world = nullptr;
+  bool active = true;  ///< false after stream_free
+  unsigned default_mask = progress_all;
+
+  base::InstrumentedMutex mu;
+
+  // Matching engine (per-VCI, as in MPICH ch4).
+  base::IntrusiveList<RequestImpl, &RequestImpl::match_hook> posted;
+  base::IntrusiveList<UnexpMsg, &UnexpMsg::hook> unexpected;
+
+  // Progress subsystems, in Listing 1.1 order.
+  dtype::PackEngine pack_engine;       // (1) datatype engine
+  AsyncRuntime::List coll_hooks;       // (2) collective schedules
+  AsyncRuntime::List asyncs;           // (3) user async things
+  std::list<LmtWork> lmt;              // (4a) shm large-message copies
+
+  // Cross-thread registration mailboxes, drained at the top of each
+  // progress call (avoids nested VCI locks on spawn-to-other-stream).
+  base::MpscQueue<AsyncThing*> inbox_asyncs;
+  base::MpscQueue<AsyncThing*> inbox_coll;
+
+  // Protocol sink for transport polls (constructed by protocol.cpp).
+  std::unique_ptr<transport::TransportSink> sink;
+
+  // Accounting.
+  std::uint64_t progress_calls = 0;
+  std::atomic<std::int64_t> active_ops{0};  ///< in-flight p2p/coll requests
+  std::atomic<std::int64_t> hook_count{0};  ///< linked async+coll hooks
+  /// Progress-made counts per collation stage (dtype, coll, async, shm,
+  /// net), in Listing 1.1 order — the observability behind abl_collation.
+  std::uint64_t stage_hits[5] = {0, 0, 0, 0, 0};
+};
+
+/// Per-rank state: the VCI table.
+struct RankCtx {
+  int rank = -1;
+  World* world = nullptr;
+  std::vector<std::unique_ptr<Vci>> vcis;  // index = vci id; [0] always live
+  mutable std::mutex vcis_mu;              // guards table growth
+};
+
+/// Blocking all-members coordination for communicator management ops
+/// (dup/split/with_stream are collective). Each member deposits an input;
+/// the last arrival runs `make` over all inputs producing one output per
+/// member; everyone then picks up its own. One op at a time per comm.
+class Coordinator {
+ public:
+  explicit Coordinator(int nmembers) : n_(nmembers), inputs_(nmembers) {}
+
+  /// `make` maps (inputs indexed by member) -> outputs indexed by member.
+  std::any run(int member, std::any input,
+               std::vector<std::any> (*make)(std::vector<std::any>&, void*),
+               void* arg);
+
+ private:
+  int n_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_ = 0;
+  int arrived_ = 0;
+  std::vector<std::any> inputs_;
+  std::shared_ptr<std::vector<std::any>> outputs_;
+};
+
+/// Shared communicator state. Comm handles are per-rank views of this.
+struct CommImpl {
+  World* world = nullptr;  ///< comms must not outlive their World
+  std::int32_t context_id = 0;       ///< p2p matching context
+  std::int32_t coll_context_id = 0;  ///< collective matching context
+  std::vector<int> group;         ///< comm rank -> world rank
+  std::vector<int> vcis;          ///< comm rank -> VCI id at that rank
+  std::vector<int> world_to_comm; ///< world rank -> comm rank (or -1)
+  std::unique_ptr<Coordinator> coord;
+
+  /// Per-member collective sequence numbers (each member touches only its
+  /// own slot). Identical call order on all members — an MPI requirement —
+  /// yields matching tags.
+  std::vector<int> coll_seq;
+  /// Lazily-built view whose p2p context is the collective context.
+  std::mutex clone_mu;
+  std::shared_ptr<CommImpl> coll_clone;
+
+  int to_world(int comm_rank) const { return group[comm_rank]; }
+  int to_comm(int world_rank) const { return world_to_comm[world_rank]; }
+};
+
+// ---- helpers shared across core translation units ----
+
+/// Fill status, fire the completion hook, then publish completion (release).
+/// Must run under the request's VCI lock (or before the request is visible).
+void complete_request(RequestImpl* r, Err err);
+
+/// The collated progress function (Listing 1.1). Returns made_progress.
+int progress_test(Vci& v, unsigned mask);
+
+/// Post-side entry points (protocol.cpp). `sync` forces rendezvous
+/// (MPI_Ssend semantics: completion implies the receive matched).
+Request isend_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
+                   const void* buf, std::size_t count,
+                   const dtype::Datatype& dt, int dst, int tag,
+                   bool sync = false);
+Request irecv_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
+                   void* buf, std::size_t count, const dtype::Datatype& dt,
+                   int src, int tag);
+
+/// Receive a message previously claimed by improbe. Takes ownership of `u`.
+Request imrecv_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
+                    void* buf, std::size_t count, const dtype::Datatype& dt,
+                    UnexpMsg* u);
+
+/// Return an unconsumed matched-probe message to the unexpected queue.
+void requeue_unexpected(Vci& v, UnexpMsg* u);
+
+/// Emit a protocol trace record from a VCI context (no-op when disabled).
+inline void trace_emit(Vci& v, trace::Event ev, int peer, int tag,
+                       std::uint64_t bytes, std::uint64_t detail = 0) {
+  trace::Tracer& t = v.world->tracer();
+  if (!t.enabled()) return;
+  trace::Record r;
+  r.t = v.world->wtime();
+  r.ev = ev;
+  r.rank = v.rank;
+  r.vci = v.id;
+  r.peer = peer;
+  r.tag = tag;
+  r.bytes = bytes;
+  r.detail = detail;
+  t.emit(r);
+}
+
+/// Construct the transport sink for a VCI (called when a VCI is created).
+std::unique_ptr<transport::TransportSink> make_vci_sink(Vci& v);
+
+/// Shm LMT copy stage, called from the shm slot of progress_test.
+void lmt_progress(Vci& v, int* made_progress);
+
+}  // namespace mpx::core_detail

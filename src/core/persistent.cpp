@@ -1,0 +1,131 @@
+// Persistent point-to-point operations (MPI_Send_init / MPI_Recv_init /
+// MPI_Start). A persistent request captures the operation's arguments once;
+// each start() re-arms the completion flag and issues a fresh inner
+// operation whose completion hook completes the persistent handle. This is
+// the handle shape task runtimes re-fire every iteration — and the shape
+// the MPIX_Schedule proposal (§5.3) builds rounds out of.
+#include "internal.hpp"
+
+namespace mpx {
+
+using core_detail::ReqKind;
+using core_detail::RequestImpl;
+
+namespace {
+
+Request make_persistent(ReqKind kind,
+                        const std::shared_ptr<core_detail::CommImpl>& comm,
+                        int my_rank, void* buf, std::size_t count,
+                        dtype::Datatype dt, int peer, int tag, bool sync) {
+  expects(comm != nullptr, "send_init/recv_init: invalid communicator");
+  World& w = *comm->world;
+  auto* r = new RequestImpl(kind);
+  r->world = &w;
+  r->vci = &w.vci(comm->to_world(my_rank),
+                  comm->vcis[static_cast<std::size_t>(my_rank)]);
+  r->comm = comm;
+  r->my_comm_rank = my_rank;
+  r->buf = buf;
+  r->count = count;
+  r->dt = std::move(dt);
+  r->peer = peer;           // communicator rank of the peer
+  r->match_tag = tag;
+  r->sync_mode = sync;
+  // Persistent requests are born INACTIVE: test/wait on an inactive request
+  // returns immediately (MPI semantics), so mark it complete until started.
+  r->complete.store(true, std::memory_order_release);
+  return Request(base::Ref<RequestImpl>(r));
+}
+
+void persistent_cycle_done(RequestImpl* inner, void* arg) {
+  // Runs under the inner request's VCI lock at completion time.
+  auto* pers = static_cast<RequestImpl*>(arg);
+  pers->status = inner->status;
+  core_detail::complete_request(pers, inner->status.error);
+  base::Ref<RequestImpl> drop(pers);  // release the ref taken by start()
+}
+
+}  // namespace
+
+Request Comm::send_init(const void* buf, std::size_t count,
+                        dtype::Datatype dt, int dst, int tag,
+                        bool sync) const {
+  expects(valid(), "Comm::send_init: invalid communicator");
+  expects(dst >= 0 && dst < size(), "Comm::send_init: rank out of range");
+  return make_persistent(ReqKind::psend, impl_, my_rank_,
+                         const_cast<void*>(buf), count, std::move(dt), dst,
+                         tag, sync);
+}
+
+Request Comm::recv_init(void* buf, std::size_t count, dtype::Datatype dt,
+                        int src, int tag) const {
+  expects(valid(), "Comm::recv_init: invalid communicator");
+  expects(src == any_source || (src >= 0 && src < size()),
+          "Comm::recv_init: rank out of range");
+  return make_persistent(ReqKind::precv, impl_, my_rank_, buf, count,
+                         std::move(dt), src, tag, false);
+}
+
+Request make_persistent_generic(
+    World& w, const Stream& stream,
+    std::function<base::Ref<core_detail::RequestImpl>()> factory) {
+  expects(static_cast<bool>(factory),
+          "make_persistent_generic: empty factory");
+  auto* r = new RequestImpl(ReqKind::pgeneric);
+  r->world = &w;
+  r->vci = &w.vci(stream.rank(), stream.vci());
+  r->self = stream.rank();
+  r->pgen_factory = std::move(factory);
+  r->complete.store(true, std::memory_order_release);  // born inactive
+  return Request(base::Ref<RequestImpl>(r));
+}
+
+void start(Request& req) {
+  RequestImpl* r = req.impl();
+  expects(r != nullptr &&
+              (r->kind == ReqKind::psend || r->kind == ReqKind::precv ||
+               r->kind == ReqKind::pgeneric),
+          "start: not a persistent request");
+  expects(r->complete.load(std::memory_order_acquire),
+          "start: previous cycle still active");
+  r->complete.store(false, std::memory_order_release);
+  r->status = Status{};
+
+  Request inner;
+  switch (r->kind) {
+    case ReqKind::psend:
+      inner = core_detail::isend_impl(r->comm, r->my_comm_rank, r->buf,
+                                      r->count, r->dt, r->peer, r->match_tag,
+                                      r->sync_mode);
+      break;
+    case ReqKind::precv:
+      inner = core_detail::irecv_impl(r->comm, r->my_comm_rank, r->buf,
+                                      r->count, r->dt, r->peer,
+                                      r->match_tag);
+      break;
+    default:
+      inner = Request(r->pgen_factory());
+      break;
+  }
+  RequestImpl* in = inner.impl();
+  r->child = base::Ref<RequestImpl>::share(in);
+  r->ref_inc();  // held by the completion hook below
+  bool fire_now = false;
+  {
+    std::lock_guard<base::InstrumentedMutex> g(in->vci->mu);
+    if (in->complete.load(std::memory_order_acquire)) {
+      fire_now = true;  // e.g. a buffered eager send completed at initiation
+    } else {
+      ensures(in->on_complete == nullptr, "start: inner hook slot taken");
+      in->on_complete = &persistent_cycle_done;
+      in->on_complete_arg = r;
+    }
+  }
+  if (fire_now) persistent_cycle_done(in, r);
+}
+
+void start_all(std::span<Request> reqs) {
+  for (Request& r : reqs) start(r);
+}
+
+}  // namespace mpx

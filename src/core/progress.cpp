@@ -1,0 +1,192 @@
+// The collated progress engine (paper Listing 1.1) and the MPIX_Async
+// runtime (§3.3). Subsystem order inside one progress call:
+//
+//   1. datatype engine      (async pack/unpack)
+//   2. collective schedules (internal hooks registered by mpx::coll)
+//   3. user async things    (MPIX_Async poll functions)
+//   4. shared memory        (transport poll + LMT copy work)
+//   5. netmod               (simulated NIC) — last, skipped if progress
+//
+// with an early exit as soon as progress is made, exactly as MPICH's
+// MPIDI_progress_test does.
+#include "internal.hpp"
+
+namespace mpx {
+
+void AsyncThing::spawn(AsyncPollFn fn, void* extra_state,
+                       const Stream& stream) {
+  expects(fn != nullptr && stream.valid(), "AsyncThing::spawn: bad arguments");
+  spawned_.push_back(SpawnRec{fn, extra_state, stream});
+}
+
+namespace core_detail {
+
+Vci::~Vci() {
+  // Release anything still owned at world teardown: unfinished hooks,
+  // never-matched unexpected messages, never-matched posted receives.
+  auto drop_hooks = [](AsyncRuntime::List& list) {
+    while (AsyncThing* t = list.pop_front()) delete t;
+  };
+  drop_hooks(asyncs);
+  drop_hooks(coll_hooks);
+  while (auto t = inbox_asyncs.try_pop()) delete *t;
+  while (auto t = inbox_coll.try_pop()) delete *t;
+  while (UnexpMsg* u = unexpected.pop_front()) delete u;
+  while (RequestImpl* r = posted.pop_front()) {
+    base::Ref<RequestImpl> drop(r);  // adopt the posted-list reference
+  }
+}
+
+namespace {
+
+/// Enqueue a new hook onto the target stream's mailbox. Mailboxes decouple
+/// registration from the VCI lock, so spawning onto another stream from
+/// inside a poll function cannot deadlock.
+void enqueue_hook(AsyncPollFn fn, void* state, const Stream& s,
+                  bool coll_stage) {
+  Vci& v = s.world().vci(s.rank(), s.vci());
+  expects(v.active, "async_start: stream has been freed");
+  AsyncThing* t = AsyncRuntime::make(fn, state, s);
+  v.hook_count.fetch_add(1, std::memory_order_relaxed);
+  (coll_stage ? v.inbox_coll : v.inbox_asyncs).push(std::move(t));
+}
+
+void drain_inbox(base::MpscQueue<AsyncThing*>& inbox,
+                 AsyncRuntime::List& list) {
+  while (auto t = inbox.try_pop()) list.push_back(*t);
+}
+
+/// Poll every hook in `list` once. A hook returning done is unlinked and
+/// destroyed and counts as progress; pending hooks do not.
+void poll_hooks(Vci& v, AsyncRuntime::List& list, int* made) {
+  list.for_each_safe([&](AsyncThing* t) {
+    const AsyncResult r = AsyncRuntime::fn(*t)(*t);
+    if (AsyncRuntime::has_spawned(*t)) {
+      // Spawned tasks are staged inside the thing and registered after
+      // poll_fn returns (paper: avoids recursion / queue self-mutation).
+      for (auto& rec : AsyncRuntime::take_spawned(*t)) {
+        enqueue_hook(rec.fn, rec.state, rec.stream, /*coll_stage=*/false);
+      }
+    }
+    if (r == AsyncResult::done) {
+      list.erase(t);
+      delete t;
+      v.hook_count.fetch_sub(1, std::memory_order_relaxed);
+      *made = 1;
+    }
+  });
+}
+
+}  // namespace
+
+int progress_test(Vci& v, unsigned mask) {
+  World& w = *v.world;
+  std::lock_guard<base::InstrumentedMutex> g(v.mu);
+  ++v.progress_calls;
+
+  drain_inbox(v.inbox_coll, v.coll_hooks);
+  drain_inbox(v.inbox_asyncs, v.asyncs);
+
+  int made = 0;
+  if ((mask & progress_dtype) != 0) {
+    v.pack_engine.progress(&made);
+    if (made != 0) {
+      ++v.stage_hits[0];
+      return made;
+    }
+  }
+  if ((mask & progress_coll) != 0) {
+    poll_hooks(v, v.coll_hooks, &made);
+    if (made != 0) {
+      ++v.stage_hits[1];
+      return made;
+    }
+  }
+  if ((mask & progress_async) != 0) {
+    poll_hooks(v, v.asyncs, &made);
+    if (made != 0) {
+      ++v.stage_hits[2];
+      return made;
+    }
+  }
+  if ((mask & progress_shm) != 0) {
+    w.shm_transport().poll(v.rank, v.id, *v.sink, &made);
+    lmt_progress(v, &made);
+    if (made != 0) {
+      ++v.stage_hits[3];
+      return made;
+    }
+  }
+  if ((mask & progress_net) != 0) {
+    w.nic().poll(v.rank, v.id, *v.sink, &made);
+    if (made != 0) ++v.stage_hits[4];
+  }
+  return made;
+}
+
+void complete_request(RequestImpl* r, Err err) {
+  if (r->vci != nullptr) {
+    trace_emit(*r->vci, trace::Event::complete, r->peer, r->status.tag,
+               r->status.count_bytes, static_cast<std::uint64_t>(r->kind));
+  }
+  r->status.error = err;
+  if (r->kind == ReqKind::grequest && r->greq.query_fn != nullptr) {
+    r->greq.query_fn(r->greq.extra_state, &r->status);
+  }
+  if (r->on_complete != nullptr) {
+    r->on_complete(r, r->on_complete_arg);
+    r->on_complete = nullptr;
+  }
+  r->complete.store(true, std::memory_order_release);
+  if (r->vci != nullptr &&
+      (r->kind == ReqKind::send || r->kind == ReqKind::recv ||
+       r->kind == ReqKind::coll || r->kind == ReqKind::pack)) {
+    r->vci->active_ops.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace core_detail
+
+void coll_hook_start(AsyncPollFn fn, void* extra_state, const Stream& stream) {
+  expects(fn != nullptr, "coll_hook_start: null poll function");
+  expects(stream.valid(), "coll_hook_start: invalid stream");
+  core_detail::enqueue_hook(fn, extra_state, stream, /*coll_stage=*/true);
+}
+
+int stream_progress(const Stream& stream) {
+  return stream_progress(stream, stream.mask());
+}
+
+int stream_progress(const Stream& stream, unsigned mask) {
+  expects(stream.valid(), "stream_progress: invalid stream");
+  core_detail::Vci& v = stream.world().vci(stream.rank(), stream.vci());
+  return core_detail::progress_test(v, mask);
+}
+
+void async_start(AsyncPollFn fn, void* extra_state, const Stream& stream) {
+  expects(fn != nullptr, "async_start: null poll function");
+  expects(stream.valid(), "async_start: invalid stream");
+  core_detail::enqueue_hook(fn, extra_state, stream, /*coll_stage=*/false);
+}
+
+namespace {
+
+struct FnHookState {
+  std::function<AsyncResult()> fn;
+};
+
+AsyncResult fn_hook_trampoline(AsyncThing& t) {
+  auto* s = static_cast<FnHookState*>(t.state());
+  const AsyncResult r = s->fn();
+  if (r == AsyncResult::done) delete s;
+  return r;
+}
+
+}  // namespace
+
+void async_start(std::function<AsyncResult()> fn, const Stream& stream) {
+  expects(static_cast<bool>(fn), "async_start: empty callable");
+  async_start(&fn_hook_trampoline, new FnHookState{std::move(fn)}, stream);
+}
+
+}  // namespace mpx

@@ -1,0 +1,524 @@
+// Point-to-point protocol state machines: eager / rendezvous / pipeline on
+// both transports, message matching, and the transport sink that feeds
+// arrivals into them. This is where the paper's Fig. 1 message modes live:
+//
+//   shm,  size <= shm_eager_max   : buffered eager (Fig. 1a) — copy to cell,
+//                                   complete at initiation
+//   shm,  larger                  : LMT rendezvous — RTS(with exporter ptr)
+//                                   -> receiver chunk-copies -> ACK (sender
+//                                   has ONE wait block)
+//   net,  size <= lightweight_max : buffered eager (Fig. 1a)
+//   net,  size <= net_eager_max   : eager (Fig. 1b) — sender completes at
+//                                   injection-done CQ event (one wait block)
+//   net,  larger                  : rendezvous (Fig. 1c) — RTS -> CTS ->
+//                                   DATA (two wait blocks); above
+//                                   pipeline_min the data is chunked with a
+//                                   bounded in-flight window (indeterminate
+//                                   number of wait blocks, §2.1 pipeline)
+//
+// All handlers run under the polling VCI's lock.
+#include <algorithm>
+#include <cstring>
+
+#include "internal.hpp"
+
+namespace mpx::core_detail {
+namespace {
+
+using transport::Msg;
+using transport::MsgHeader;
+using transport::MsgKind;
+
+RequestImpl* peek_cookie(std::uint64_t c) {
+  return reinterpret_cast<RequestImpl*>(c);
+}
+
+/// Route a message over the right transport for the (src, dst) pair.
+/// `cookie` requests a sender-side injection-completion event (net only).
+void route(World& w, Msg&& m, std::uint64_t cookie) {
+  if (w.same_node(m.h.src_rank, m.h.dst_rank)) {
+    w.shm_transport().send(std::move(m), cookie);
+  } else {
+    w.nic().inject(std::move(m), cookie);
+  }
+}
+
+bool match(const RequestImpl& r, std::int32_t ctx, std::int32_t src,
+           std::int32_t tag) {
+  return r.context_id == ctx &&
+         (r.match_src == any_source || r.match_src == src) &&
+         (r.match_tag == any_tag || r.match_tag == tag);
+}
+
+/// Pop the first posted receive matching the header (FIFO order).
+/// The returned pointer carries the posted-list reference.
+RequestImpl* pop_posted(Vci& v, const MsgHeader& h) {
+  RequestImpl* found = nullptr;
+  v.posted.for_each_safe([&](RequestImpl* r) {
+    if (found == nullptr && match(*r, h.context_id, h.src_rank, h.tag)) {
+      v.posted.erase(r);
+      found = r;
+    }
+  });
+  return found;
+}
+
+void set_recv_envelope(RequestImpl* rreq, const MsgHeader& h) {
+  rreq->status.source =
+      rreq->comm != nullptr ? rreq->comm->to_comm(h.src_rank) : h.src_rank;
+  rreq->status.tag = h.tag;
+}
+
+/// Deliver a fully-arrived eager payload into the receive buffer.
+void deliver_eager(RequestImpl* rreq, const MsgHeader& h,
+                   base::ConstByteSpan data) {
+  const std::size_t cap = rreq->count * rreq->dt.size();
+  Err err = Err::success;
+  std::size_t n = data.size();
+  if (n > cap) {
+    n = cap;
+    err = Err::truncate;
+  }
+  if (n > 0) {
+    if (rreq->dt.is_contiguous()) {
+      std::memcpy(rreq->buf, data.data(), n);
+    } else {
+      dtype::unpack_all(data.first(n), rreq->buf, rreq->count, rreq->dt);
+    }
+  }
+  set_recv_envelope(rreq, h);
+  rreq->status.count_bytes = n;
+  complete_request(rreq, err);
+}
+
+/// Begin the rendezvous receive for a matched RTS.
+/// Takes ownership of the caller's reference to rreq.
+void start_rndv_recv(Vci& v, base::Ref<RequestImpl> rreq, const MsgHeader& h) {
+  World& w = *v.world;
+  set_recv_envelope(rreq.get(), h);
+  rreq->total_bytes = h.total_bytes;
+  if (w.same_node(h.src_rank, v.rank)) {
+    // Shared-memory LMT: chunk-copy directly from the exporter's buffer
+    // during this VCI's progress, then ack the sender.
+    LmtWork work;
+    work.src = static_cast<const std::byte*>(h.shm_src);
+    work.total = h.total_bytes;
+    work.sender_cookie = h.sender_cookie;
+    work.sender_rank = h.src_rank;
+    work.sender_vci = h.src_vci;
+    if (!rreq->dt.is_contiguous()) {
+      work.seg = std::make_unique<dtype::Segment>(rreq->buf, rreq->count,
+                                                  rreq->dt);
+    }
+    work.rreq = std::move(rreq);
+    v.lmt.push_back(std::move(work));
+    return;
+  }
+  // Simulated NIC: clear-to-send back to the sender's VCI.
+  RequestImpl* rp = rreq.get();
+  if (!rp->dt.is_contiguous()) {
+    rp->seg = std::make_unique<dtype::Segment>(rp->buf, rp->count, rp->dt);
+  }
+  Msg cts;
+  cts.h.kind = MsgKind::cts;
+  cts.h.src_rank = v.rank;
+  cts.h.dst_rank = h.src_rank;
+  cts.h.src_vci = v.id;
+  cts.h.dst_vci = h.src_vci;
+  cts.h.context_id = h.context_id;
+  cts.h.tag = h.tag;
+  cts.h.total_bytes = h.total_bytes;
+  cts.h.sender_cookie = h.sender_cookie;
+  // One reference rides the cookie until the final data chunk adopts it;
+  // our own (rreq) drops at scope end.
+  cts.h.recver_cookie = cookie_of(rp);
+  route(*v.world, std::move(cts), 0);
+}
+
+/// Pipeline/rendezvous chunk size for a message of `total` bytes.
+std::uint64_t chunk_bytes(const WorldConfig& cfg, std::uint64_t total) {
+  return total > cfg.net_pipeline_min
+             ? static_cast<std::uint64_t>(cfg.net_pipeline_chunk)
+             : total;
+}
+
+/// Inject the next data chunk of a rendezvous send.
+void inject_next_chunk(Vci& v, RequestImpl* sreq) {
+  const WorldConfig& cfg = v.world->config();
+  const std::uint64_t chunk = chunk_bytes(cfg, sreq->total_bytes);
+  const std::uint64_t len =
+      std::min<std::uint64_t>(chunk, sreq->total_bytes - sreq->next_offset);
+  Msg data;
+  data.h.kind = MsgKind::data;
+  data.h.src_rank = sreq->self;
+  data.h.dst_rank = sreq->peer;
+  data.h.src_vci = v.id;
+  data.h.dst_vci = sreq->peer_vci;
+  data.h.total_bytes = sreq->total_bytes;
+  data.h.chunk_offset = sreq->next_offset;
+  data.h.recver_cookie = sreq->peer_cookie;
+  data.payload = base::Buffer::copy_of(base::ConstByteSpan(
+      sreq->send_src + sreq->next_offset, static_cast<std::size_t>(len)));
+  sreq->next_offset += len;
+  ++sreq->chunks_inflight;
+  route(*v.world, std::move(data), cookie_of(sreq));
+}
+
+// ---- inbound handlers (under the VCI lock) ----
+
+void handle_eager(Vci& v, Msg&& m) {
+  if (RequestImpl* rreq = pop_posted(v, m.h); rreq != nullptr) {
+    base::Ref<RequestImpl> own(rreq);  // adopt the posted-list reference
+    trace_emit(v, trace::Event::match, m.h.src_rank, m.h.tag,
+               m.h.total_bytes);
+    deliver_eager(rreq, m.h, m.payload.span());
+    return;
+  }
+  trace_emit(v, trace::Event::unexpected, m.h.src_rank, m.h.tag,
+             m.h.total_bytes);
+  auto* u = new UnexpMsg();
+  u->msg = std::move(m);
+  v.unexpected.push_back(u);
+}
+
+void handle_rts(Vci& v, Msg&& m) {
+  trace_emit(v, trace::Event::rts, m.h.src_rank, m.h.tag, m.h.total_bytes);
+  if (RequestImpl* rreq = pop_posted(v, m.h); rreq != nullptr) {
+    trace_emit(v, trace::Event::match, m.h.src_rank, m.h.tag,
+               m.h.total_bytes);
+    start_rndv_recv(v, base::Ref<RequestImpl>(rreq), m.h);
+    return;
+  }
+  trace_emit(v, trace::Event::unexpected, m.h.src_rank, m.h.tag,
+             m.h.total_bytes);
+  auto* u = new UnexpMsg();
+  u->msg = std::move(m);
+  v.unexpected.push_back(u);
+}
+
+void handle_cts(Vci& v, Msg&& m) {
+  trace_emit(v, trace::Event::cts, m.h.src_rank, m.h.tag, m.h.total_bytes);
+  // Adopt the RTS reference; the injection cookies below keep sreq alive.
+  base::Ref<RequestImpl> rts_ref = from_cookie(m.h.sender_cookie);
+  RequestImpl* sreq = rts_ref.get();
+  ensures(sreq->proto == SendProto::net_rndv, "cts: unexpected protocol");
+  sreq->peer_cookie = m.h.recver_cookie;
+  const WorldConfig& cfg = v.world->config();
+  const int window =
+      sreq->total_bytes > cfg.net_pipeline_min ? cfg.net_pipeline_inflight : 1;
+  while (sreq->next_offset < sreq->total_bytes &&
+         sreq->chunks_inflight < window) {
+    inject_next_chunk(v, sreq);
+  }
+}
+
+void handle_data(Vci& v, Msg&& m) {
+  trace_emit(v, trace::Event::data, m.h.src_rank, m.h.tag,
+             m.payload.size(), m.h.chunk_offset);
+  RequestImpl* rreq = peek_cookie(m.h.recver_cookie);
+  const std::size_t cap = rreq->count * rreq->dt.size();
+  const base::ConstByteSpan data = m.payload.span();
+  if (rreq->seg != nullptr) {
+    // Chunks arrive in order (FIFO channels); clip happens inside unpack.
+    rreq->seg->unpack(data);
+  } else {
+    const std::uint64_t off = m.h.chunk_offset;
+    if (off < cap) {
+      const std::size_t n =
+          std::min<std::size_t>(data.size(), cap - static_cast<std::size_t>(off));
+      std::memcpy(static_cast<std::byte*>(rreq->buf) + off, data.data(), n);
+    }
+  }
+  rreq->bytes_moved += data.size();
+  if (rreq->bytes_moved >= rreq->total_bytes) {
+    base::Ref<RequestImpl> own = from_cookie(m.h.recver_cookie);
+    rreq->status.count_bytes = std::min<std::uint64_t>(rreq->total_bytes, cap);
+    rreq->seg.reset();
+    complete_request(rreq,
+                     rreq->total_bytes > cap ? Err::truncate : Err::success);
+  }
+}
+
+void handle_ack(Vci& v, Msg&& m) {
+  trace_emit(v, trace::Event::ack, m.h.src_rank, m.h.tag, 0);
+  base::Ref<RequestImpl> sreq = from_cookie(m.h.sender_cookie);
+  sreq->status.count_bytes = sreq->total_bytes;
+  complete_request(sreq.get(), Err::success);
+}
+
+/// The transport sink: dispatches arrivals into the handlers above.
+class VciSink final : public transport::TransportSink {
+ public:
+  explicit VciSink(Vci& v) : v_(v) {}
+
+  void on_msg(Msg&& m) override {
+    switch (m.h.kind) {
+      case MsgKind::eager: handle_eager(v_, std::move(m)); break;
+      case MsgKind::rts: handle_rts(v_, std::move(m)); break;
+      case MsgKind::cts: handle_cts(v_, std::move(m)); break;
+      case MsgKind::data: handle_data(v_, std::move(m)); break;
+      case MsgKind::ack: handle_ack(v_, std::move(m)); break;
+    }
+  }
+
+  void on_send_complete(std::uint64_t cookie) override {
+    base::Ref<RequestImpl> ref = from_cookie(cookie);
+    RequestImpl* sreq = ref.get();
+    switch (sreq->proto) {
+      case SendProto::net_eager:
+        sreq->status.count_bytes = sreq->total_bytes;
+        complete_request(sreq, Err::success);
+        break;
+      case SendProto::net_rndv: {
+        const WorldConfig& cfg = v_.world->config();
+        const std::uint64_t chunk = chunk_bytes(cfg, sreq->total_bytes);
+        const std::uint64_t acked = std::min<std::uint64_t>(
+            chunk, sreq->total_bytes - sreq->bytes_moved);
+        sreq->bytes_moved += acked;
+        --sreq->chunks_inflight;
+        const int window = sreq->total_bytes > cfg.net_pipeline_min
+                               ? cfg.net_pipeline_inflight
+                               : 1;
+        while (sreq->next_offset < sreq->total_bytes &&
+               sreq->chunks_inflight < window) {
+          inject_next_chunk(v_, sreq);
+        }
+        if (sreq->bytes_moved >= sreq->total_bytes) {
+          sreq->status.count_bytes = sreq->total_bytes;
+          complete_request(sreq, Err::success);
+        }
+        break;
+      }
+      default:
+        ensures(false, "on_send_complete: unexpected protocol");
+    }
+  }
+
+ private:
+  Vci& v_;
+};
+
+}  // namespace
+
+std::unique_ptr<transport::TransportSink> make_vci_sink(Vci& v) {
+  return std::make_unique<VciSink>(v);
+}
+
+void lmt_progress(Vci& v, int* made_progress) {
+  const WorldConfig& cfg = v.world->config();
+  for (auto it = v.lmt.begin(); it != v.lmt.end();) {
+    LmtWork& w = *it;
+    const std::uint64_t len =
+        std::min<std::uint64_t>(cfg.shm_lmt_chunk, w.total - w.done);
+    RequestImpl* rreq = w.rreq.get();
+    const std::size_t cap = rreq->count * rreq->dt.size();
+    if (w.seg != nullptr) {
+      w.seg->unpack(base::ConstByteSpan(w.src + w.done,
+                                        static_cast<std::size_t>(len)));
+    } else if (w.done < cap) {
+      const std::size_t n = std::min<std::size_t>(
+          static_cast<std::size_t>(len), cap - static_cast<std::size_t>(w.done));
+      std::memcpy(static_cast<std::byte*>(rreq->buf) + w.done, w.src + w.done,
+                  n);
+    }
+    w.done += len;
+    if (made_progress != nullptr) *made_progress = 1;
+    if (w.done >= w.total) {
+      Msg ack;
+      ack.h.kind = transport::MsgKind::ack;
+      ack.h.src_rank = v.rank;
+      ack.h.dst_rank = w.sender_rank;
+      ack.h.src_vci = v.id;
+      ack.h.dst_vci = w.sender_vci;
+      ack.h.sender_cookie = w.sender_cookie;
+      route(*v.world, std::move(ack), 0);
+      rreq->status.count_bytes = std::min<std::uint64_t>(w.total, cap);
+      complete_request(rreq, w.total > cap ? Err::truncate : Err::success);
+      it = v.lmt.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Request isend_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
+                   const void* buf, std::size_t count,
+                   const dtype::Datatype& dt, int dst, int tag, bool sync) {
+  expects(comm != nullptr, "isend: invalid communicator");
+  expects(dst >= 0 && dst < static_cast<int>(comm->group.size()),
+          "isend: destination rank out of range");
+  expects(dt.valid(), "isend: invalid datatype");
+  expects(tag >= 0, "isend: tag must be non-negative");
+  World& w = *comm->world;
+  const int self = comm->to_world(my_rank);
+  const int peer = comm->to_world(dst);
+  Vci& v = w.vci(self, comm->vcis[static_cast<std::size_t>(my_rank)]);
+
+  auto* r = new RequestImpl(ReqKind::send);
+  r->world = &w;
+  r->vci = &v;
+  r->comm = comm;
+  r->self = self;
+  r->peer = peer;
+  r->peer_vci = comm->vcis[static_cast<std::size_t>(dst)];
+  r->context_id = comm->context_id;
+  r->total_bytes = count * dt.size();
+  v.active_ops.fetch_add(1, std::memory_order_relaxed);
+
+  // Flatten non-contiguous data once up front; protocols below see bytes.
+  if (dt.is_contiguous() || r->total_bytes == 0) {
+    r->send_src = static_cast<const std::byte*>(buf);
+  } else {
+    r->staging = base::Buffer(static_cast<std::size_t>(r->total_bytes));
+    dtype::pack_all(buf, count, dt, r->staging.span());
+    r->send_src = r->staging.data();
+    r->uses_staging = true;
+  }
+
+  Msg m;
+  m.h.src_rank = self;
+  m.h.dst_rank = peer;
+  m.h.src_vci = v.id;
+  m.h.dst_vci = r->peer_vci;
+  m.h.context_id = comm->context_id;
+  m.h.tag = tag;
+  m.h.total_bytes = r->total_bytes;
+
+  const WorldConfig& cfg = w.config();
+  std::lock_guard<base::InstrumentedMutex> g(v.mu);
+  if (w.same_node(self, peer)) {
+    if (!sync && r->total_bytes <= cfg.shm_eager_max) {
+      r->proto = SendProto::shm_eager;
+      m.h.kind = MsgKind::eager;
+      m.payload = base::Buffer::copy_of(base::ConstByteSpan(
+          r->send_src, static_cast<std::size_t>(r->total_bytes)));
+      w.shm_transport().send(std::move(m), 0);
+      r->status.count_bytes = r->total_bytes;
+      complete_request(r, Err::success);
+    } else {
+      r->proto = SendProto::shm_lmt;
+      m.h.kind = MsgKind::rts;
+      m.h.shm_src = r->send_src;
+      m.h.sender_cookie = cookie_of(r);
+      w.shm_transport().send(std::move(m), 0);
+    }
+  } else {
+    if (!sync && r->total_bytes <= cfg.net_lightweight_max) {
+      r->proto = SendProto::net_light;
+      m.h.kind = MsgKind::eager;
+      m.payload = base::Buffer::copy_of(base::ConstByteSpan(
+          r->send_src, static_cast<std::size_t>(r->total_bytes)));
+      w.nic().inject(std::move(m), 0);
+      r->status.count_bytes = r->total_bytes;
+      complete_request(r, Err::success);
+    } else if (!sync && r->total_bytes <= cfg.net_eager_max) {
+      r->proto = SendProto::net_eager;
+      m.h.kind = MsgKind::eager;
+      m.payload = base::Buffer::copy_of(base::ConstByteSpan(
+          r->send_src, static_cast<std::size_t>(r->total_bytes)));
+      w.nic().inject(std::move(m), cookie_of(r));
+    } else {
+      r->proto = SendProto::net_rndv;
+      m.h.kind = MsgKind::rts;
+      m.h.sender_cookie = cookie_of(r);
+      w.nic().inject(std::move(m), 0);
+    }
+  }
+  trace_emit(v, trace::Event::post_send, dst, tag, r->total_bytes,
+             static_cast<std::uint64_t>(r->proto));
+  return Request(base::Ref<RequestImpl>(r));
+}
+
+Request irecv_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
+                   void* buf, std::size_t count, const dtype::Datatype& dt,
+                   int src, int tag) {
+  expects(comm != nullptr, "irecv: invalid communicator");
+  expects(src == any_source ||
+              (src >= 0 && src < static_cast<int>(comm->group.size())),
+          "irecv: source rank out of range");
+  expects(dt.valid(), "irecv: invalid datatype");
+  World& w = *comm->world;
+  const int self = comm->to_world(my_rank);
+  Vci& v = w.vci(self, comm->vcis[static_cast<std::size_t>(my_rank)]);
+
+  auto* r = new RequestImpl(ReqKind::recv);
+  r->world = &w;
+  r->vci = &v;
+  r->comm = comm;
+  r->self = self;
+  r->buf = buf;
+  r->count = count;
+  r->dt = dt;
+  r->context_id = comm->context_id;
+  r->match_src = src == any_source ? any_source : comm->to_world(src);
+  r->match_tag = tag;
+  v.active_ops.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<base::InstrumentedMutex> g(v.mu);
+  // Check the unexpected queue first (FIFO).
+  UnexpMsg* hit = nullptr;
+  v.unexpected.for_each_safe([&](UnexpMsg* u) {
+    if (hit == nullptr &&
+        u->msg.h.context_id == r->context_id &&
+        (r->match_src == any_source || r->match_src == u->msg.h.src_rank) &&
+        (r->match_tag == any_tag || r->match_tag == u->msg.h.tag)) {
+      v.unexpected.erase(u);
+      hit = u;
+    }
+  });
+  if (hit != nullptr) {
+    base::Ref<RequestImpl> own = base::Ref<RequestImpl>::share(r);
+    if (hit->msg.h.kind == MsgKind::eager) {
+      deliver_eager(r, hit->msg.h, hit->msg.payload.span());
+    } else {
+      ensures(hit->msg.h.kind == MsgKind::rts, "unexpected queue: bad kind");
+      start_rndv_recv(v, std::move(own), hit->msg.h);
+    }
+    delete hit;
+    return Request(base::Ref<RequestImpl>(r));
+  }
+  r->ref_inc();  // the posted list holds a reference
+  v.posted.push_back(r);
+  trace_emit(v, trace::Event::post_recv, src, tag,
+             count * dt.size());
+  return Request(base::Ref<RequestImpl>(r));
+}
+
+Request imrecv_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
+                    void* buf, std::size_t count, const dtype::Datatype& dt,
+                    UnexpMsg* u) {
+  expects(comm != nullptr && u != nullptr, "imrecv: invalid arguments");
+  World& w = *comm->world;
+  const int self = comm->to_world(my_rank);
+  Vci& v = w.vci(self, comm->vcis[static_cast<std::size_t>(my_rank)]);
+
+  auto* r = new RequestImpl(ReqKind::recv);
+  r->world = &w;
+  r->vci = &v;
+  r->comm = comm;
+  r->self = self;
+  r->buf = buf;
+  r->count = count;
+  r->dt = dt;
+  r->context_id = u->msg.h.context_id;
+  v.active_ops.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<base::InstrumentedMutex> g(v.mu);
+  if (u->msg.h.kind == MsgKind::eager) {
+    deliver_eager(r, u->msg.h, u->msg.payload.span());
+  } else {
+    ensures(u->msg.h.kind == MsgKind::rts, "imrecv: bad claimed message");
+    start_rndv_recv(v, base::Ref<RequestImpl>::share(r), u->msg.h);
+  }
+  delete u;
+  return Request(base::Ref<RequestImpl>(r));
+}
+
+void requeue_unexpected(Vci& v, UnexpMsg* u) {
+  std::lock_guard<base::InstrumentedMutex> g(v.mu);
+  // Front, not back: the message was matched first; returning it must not
+  // let a younger message from the same channel overtake it.
+  v.unexpected.push_front(u);
+}
+
+}  // namespace mpx::core_detail

@@ -1,0 +1,160 @@
+// Request wait/test/cancel and the multi-request wait/test families. All
+// blocking forms follow the paper's scheme: check is_complete() (one atomic
+// read) and otherwise drive the collated progress of the request's VCI.
+#include "internal.hpp"
+#include "mpx/core/waittest.hpp"
+
+namespace mpx {
+
+using core_detail::progress_test;
+using core_detail::RequestImpl;
+
+namespace {
+
+/// Drive one progress pass on the VCI owning `r`.
+void progress_for(RequestImpl* r) {
+  if (r->vci != nullptr) {
+    progress_test(*r->vci, r->vci->default_mask);
+  }
+}
+
+}  // namespace
+
+Status Request::wait() {
+  expects(valid(), "Request::wait: invalid request");
+  RequestImpl* r = impl_.get();
+  while (!r->complete.load(std::memory_order_acquire)) {
+    progress_for(r);
+  }
+  return r->status;
+}
+
+std::optional<Status> Request::test() {
+  expects(valid(), "Request::test: invalid request");
+  RequestImpl* r = impl_.get();
+  if (!r->complete.load(std::memory_order_acquire)) {
+    progress_for(r);
+  }
+  if (r->complete.load(std::memory_order_acquire)) return r->status;
+  return std::nullopt;
+}
+
+void Request::cancel() {
+  expects(valid(), "Request::cancel: invalid request");
+  RequestImpl* r = impl_.get();
+  if (r->complete.load(std::memory_order_acquire)) return;
+  if (r->kind == core_detail::ReqKind::grequest) {
+    if (r->greq.cancel_fn != nullptr) {
+      r->greq.cancel_fn(r->greq.extra_state, false);
+    }
+    return;
+  }
+  if (r->kind != core_detail::ReqKind::recv || r->vci == nullptr) return;
+  std::lock_guard<base::InstrumentedMutex> g(r->vci->mu);
+  if (r->match_hook.linked()) {
+    r->vci->posted.erase(r);
+    r->cancelled = true;
+    r->status.cancelled = true;
+    core_detail::complete_request(r, Err::cancelled);
+    // Drop the posted-list reference.
+    base::Ref<RequestImpl> drop(r);
+  }
+}
+
+Status wait_on_stream(Request& req, const Stream& stream) {
+  expects(req.valid(), "wait_on_stream: invalid request");
+  while (!req.is_complete()) {
+    stream_progress(stream);
+  }
+  return req.status();
+}
+
+void wait_all(std::span<Request> reqs) {
+  for (;;) {
+    bool all = true;
+    for (Request& r : reqs) {
+      if (!r.is_complete()) {
+        all = false;
+        progress_for(r.impl());
+      }
+    }
+    if (all) return;
+  }
+}
+
+void wait_all(std::span<Request> reqs, std::span<Status> statuses) {
+  expects(statuses.size() == reqs.size(),
+          "wait_all: statuses length must match requests");
+  wait_all(reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    statuses[i] = reqs[i].valid() ? reqs[i].status() : Status{};
+  }
+}
+
+std::optional<Status> get_status(const Request& req) {
+  expects(req.valid(), "get_status: invalid request");
+  RequestImpl* r = req.impl();
+  if (!r->complete.load(std::memory_order_acquire)) {
+    progress_for(r);
+  }
+  if (r->complete.load(std::memory_order_acquire)) return r->status;
+  return std::nullopt;
+}
+
+bool test_all(std::span<Request> reqs) {
+  bool all = true;
+  for (Request& r : reqs) {
+    if (!r.is_complete()) {
+      progress_for(r.impl());
+      all = all && r.is_complete();
+    }
+  }
+  return all;
+}
+
+std::size_t wait_any(std::span<Request> reqs) {
+  expects(!reqs.empty(), "wait_any: empty request set");
+  for (;;) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].valid() && reqs[i].is_complete()) return i;
+    }
+    for (Request& r : reqs) {
+      if (r.valid() && !r.is_complete()) {
+        progress_for(r.impl());
+        break;  // one pass at a time; re-scan for completions
+      }
+    }
+  }
+}
+
+std::optional<std::size_t> test_any(std::span<Request> reqs) {
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i].valid() && reqs[i].is_complete()) return i;
+  }
+  for (Request& r : reqs) {
+    if (r.valid() && !r.is_complete()) {
+      progress_for(r.impl());
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i].valid() && reqs[i].is_complete()) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> test_some(std::span<Request> reqs) {
+  for (Request& r : reqs) {
+    if (r.valid() && !r.is_complete()) {
+      progress_for(r.impl());
+      break;
+    }
+  }
+  std::vector<std::size_t> done;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i].valid() && reqs[i].is_complete()) done.push_back(i);
+  }
+  return done;
+}
+
+}  // namespace mpx

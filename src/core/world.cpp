@@ -1,0 +1,280 @@
+#include "mpx/core/world.hpp"
+
+#include "internal.hpp"
+#include "mpx/base/cvar.hpp"
+#include "mpx/base/log.hpp"
+
+namespace mpx {
+
+using core_detail::RankCtx;
+using core_detail::Vci;
+
+WorldConfig WorldConfig::from_env(int nranks) {
+  namespace b = base;
+  WorldConfig c;
+  c.nranks = nranks;
+  c.ranks_per_node = static_cast<int>(b::cvar_int("MPX_RANKS_PER_NODE", 0));
+  c.max_vcis = static_cast<int>(b::cvar_int("MPX_MAX_VCIS", 16));
+  c.shm_eager_max =
+      static_cast<std::size_t>(b::cvar_int("MPX_SHM_EAGER_MAX", 64 * 1024));
+  c.shm_cells = static_cast<std::size_t>(b::cvar_int("MPX_SHM_CELLS", 64));
+  c.shm_lmt_chunk =
+      static_cast<std::size_t>(b::cvar_int("MPX_SHM_LMT_CHUNK", 256 * 1024));
+  c.net_lightweight_max =
+      static_cast<std::size_t>(b::cvar_int("MPX_NET_LIGHTWEIGHT_MAX", 1024));
+  c.net_eager_max =
+      static_cast<std::size_t>(b::cvar_int("MPX_NET_EAGER_MAX", 64 * 1024));
+  c.net_pipeline_min = static_cast<std::size_t>(
+      b::cvar_int("MPX_NET_PIPELINE_MIN", 1024 * 1024));
+  c.net_pipeline_chunk = static_cast<std::size_t>(
+      b::cvar_int("MPX_NET_PIPELINE_CHUNK", 256 * 1024));
+  c.net_pipeline_inflight =
+      static_cast<int>(b::cvar_int("MPX_NET_PIPELINE_INFLIGHT", 4));
+  c.net.alpha = b::cvar_double("MPX_NET_ALPHA", c.net.alpha);
+  c.net.beta = b::cvar_double("MPX_NET_BETA", c.net.beta);
+  c.net.gamma = b::cvar_double("MPX_NET_GAMMA", c.net.gamma);
+  c.net.inj_beta = b::cvar_double("MPX_NET_INJ_BETA", c.net.inj_beta);
+  c.use_virtual_clock = b::cvar_bool("MPX_VIRTUAL_CLOCK", false);
+  c.trace_capacity =
+      static_cast<std::size_t>(b::cvar_int("MPX_TRACE_CAPACITY", 0));
+  return c;
+}
+
+struct World::State {
+  WorldConfig cfg;
+  std::unique_ptr<trace::Tracer> tracer;
+  std::unique_ptr<base::Clock> clock;
+  base::VirtualClock* vclock = nullptr;  // aliases clock when virtual
+  std::unique_ptr<shm::ShmTransport> shm;
+  std::unique_ptr<net::Nic> nic;
+  std::vector<std::unique_ptr<RankCtx>> ranks;
+  std::atomic<std::int32_t> next_context_id{16};
+  std::shared_ptr<core_detail::CommImpl> world_comm;
+};
+
+namespace {
+
+std::unique_ptr<Vci> make_vci(World* w, int rank, int id, unsigned mask) {
+  auto v = std::make_unique<Vci>();
+  v->id = id;
+  v->rank = rank;
+  v->world = w;
+  v->default_mask = mask;
+  v->sink = core_detail::make_vci_sink(*v);
+  return v;
+}
+
+}  // namespace
+
+World::World(WorldConfig cfg) : s_(std::make_unique<State>()) {
+  expects(cfg.nranks >= 1, "World: nranks must be >= 1");
+  expects(cfg.max_vcis >= 1, "World: max_vcis must be >= 1");
+  if (cfg.ranks_per_node <= 0) cfg.ranks_per_node = cfg.nranks;
+  s_->cfg = cfg;
+  s_->tracer = std::make_unique<trace::Tracer>(cfg.trace_capacity);
+  if (cfg.use_virtual_clock) {
+    auto vc = std::make_unique<base::VirtualClock>();
+    s_->vclock = vc.get();
+    s_->clock = std::move(vc);
+  } else {
+    s_->clock = std::make_unique<base::SteadyClock>();
+  }
+  s_->shm = std::make_unique<shm::ShmTransport>(cfg.nranks, cfg.max_vcis,
+                                                cfg.shm_cells);
+  s_->nic =
+      std::make_unique<net::Nic>(cfg.nranks, cfg.max_vcis, cfg.net, *s_->clock);
+  s_->ranks.reserve(static_cast<std::size_t>(cfg.nranks));
+  for (int r = 0; r < cfg.nranks; ++r) {
+    auto rc = std::make_unique<RankCtx>();
+    rc->rank = r;
+    rc->world = this;
+    rc->vcis.push_back(make_vci(this, r, 0, progress_all));
+    s_->ranks.push_back(std::move(rc));
+  }
+  // The world communicator: context ids 0 (p2p) and 1 (collectives).
+  auto ci = std::make_shared<core_detail::CommImpl>();
+  ci->world = this;
+  ci->context_id = 0;
+  ci->coll_context_id = 1;
+  ci->group.resize(static_cast<std::size_t>(cfg.nranks));
+  ci->vcis.assign(static_cast<std::size_t>(cfg.nranks), 0);
+  ci->world_to_comm.resize(static_cast<std::size_t>(cfg.nranks));
+  for (int r = 0; r < cfg.nranks; ++r) {
+    ci->group[static_cast<std::size_t>(r)] = r;
+    ci->world_to_comm[static_cast<std::size_t>(r)] = r;
+  }
+  ci->coord = std::make_unique<core_detail::Coordinator>(cfg.nranks);
+  s_->world_comm = std::move(ci);
+}
+
+std::shared_ptr<World> World::create(WorldConfig cfg) {
+  return std::shared_ptr<World>(new World(std::move(cfg)));
+}
+
+World::~World() = default;
+
+int World::size() const { return s_->cfg.nranks; }
+const WorldConfig& World::config() const { return s_->cfg; }
+double World::wtime() const { return s_->clock->now(); }
+const base::Clock& World::clock() const { return *s_->clock; }
+base::VirtualClock* World::virtual_clock() { return s_->vclock; }
+
+Comm World::comm_world(int rank) {
+  expects(rank >= 0 && rank < size(), "comm_world: rank out of range");
+  return Comm(s_->world_comm, rank);
+}
+
+Stream World::null_stream(int rank) {
+  expects(rank >= 0 && rank < size(), "null_stream: rank out of range");
+  return Stream(this, rank, 0, progress_all);
+}
+
+Stream World::stream_create(int rank, const Info& info) {
+  expects(rank >= 0 && rank < size(), "stream_create: rank out of range");
+  unsigned mask = progress_all;
+  if (info.get_bool("mpx_skip_netmod", false)) mask &= ~progress_net;
+  if (info.get_bool("mpx_skip_shm", false)) mask &= ~progress_shm;
+  if (info.get_bool("mpx_skip_dtype", false)) mask &= ~progress_dtype;
+  if (info.get_bool("mpx_skip_coll", false)) mask &= ~progress_coll;
+
+  RankCtx& rc = *s_->ranks[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> g(rc.vcis_mu);
+  // Reuse a freed slot if available.
+  for (std::size_t i = 1; i < rc.vcis.size(); ++i) {
+    if (!rc.vcis[i]->active) {
+      rc.vcis[i] = make_vci(this, rank, static_cast<int>(i), mask);
+      return Stream(this, rank, static_cast<int>(i), mask);
+    }
+  }
+  expects(static_cast<int>(rc.vcis.size()) < s_->cfg.max_vcis,
+          "stream_create: max_vcis exhausted (raise WorldConfig::max_vcis)");
+  const int id = static_cast<int>(rc.vcis.size());
+  rc.vcis.push_back(make_vci(this, rank, id, mask));
+  return Stream(this, rank, id, mask);
+}
+
+void World::stream_free(Stream& stream) {
+  expects(stream.valid() && &stream.world() == this,
+          "stream_free: stream does not belong to this world");
+  expects(stream.vci() != 0, "stream_free: cannot free the null stream");
+  Vci& v = vci(stream.rank(), stream.vci());
+  {
+    std::lock_guard<base::InstrumentedMutex> g(v.mu);
+    expects(v.asyncs.empty() && v.coll_hooks.empty() && v.posted.empty() &&
+                v.lmt.empty() &&
+                v.active_ops.load(std::memory_order_relaxed) == 0,
+            "stream_free: stream still has pending work");
+    v.active = false;
+  }
+  stream = Stream();
+}
+
+void World::finalize_rank(int rank) {
+  expects(rank >= 0 && rank < size(), "finalize_rank: rank out of range");
+  RankCtx& rc = *s_->ranks[static_cast<std::size_t>(rank)];
+  // Spin progress on every live VCI of this rank until quiescent (the paper:
+  // "MPI_Finalize will spin progress until all async tasks complete").
+  for (;;) {
+    bool quiet = true;
+    std::size_t nv = 0;
+    {
+      std::lock_guard<std::mutex> g(rc.vcis_mu);
+      nv = rc.vcis.size();
+    }
+    for (std::size_t i = 0; i < nv; ++i) {
+      Vci& v = *rc.vcis[i];
+      if (!v.active) continue;
+      core_detail::progress_test(v, progress_all);
+      std::lock_guard<base::InstrumentedMutex> g(v.mu);
+      const bool idle =
+          v.asyncs.empty() && v.coll_hooks.empty() && v.lmt.empty() &&
+          v.pack_engine.idle() &&
+          v.active_ops.load(std::memory_order_relaxed) == 0 &&
+          v.inbox_asyncs.maybe_empty() && v.inbox_coll.maybe_empty() &&
+          s_->shm->idle(rank, static_cast<int>(i)) &&
+          s_->nic->idle(rank, static_cast<int>(i));
+      quiet = quiet && idle;
+    }
+    if (quiet) return;
+  }
+}
+
+base::MutexStats World::vci_lock_stats(int rank, int vci_id) const {
+  return s_->ranks[static_cast<std::size_t>(rank)]
+      ->vcis[static_cast<std::size_t>(vci_id)]
+      ->mu.stats();
+}
+
+std::uint64_t World::vci_progress_calls(int rank, int vci_id) const {
+  return s_->ranks[static_cast<std::size_t>(rank)]
+      ->vcis[static_cast<std::size_t>(vci_id)]
+      ->progress_calls;
+}
+
+World::StageCounters World::vci_stage_counters(int rank, int vci_id) const {
+  const auto& v = *s_->ranks[static_cast<std::size_t>(rank)]
+                       ->vcis[static_cast<std::size_t>(vci_id)];
+  StageCounters c;
+  c.dtype = v.stage_hits[0];
+  c.coll = v.stage_hits[1];
+  c.async = v.stage_hits[2];
+  c.shm = v.stage_hits[3];
+  c.net = v.stage_hits[4];
+  return c;
+}
+
+shm::ShmStats World::shm_stats() const { return s_->shm->stats(); }
+net::NicStats World::net_stats() const { return s_->nic->stats(); }
+
+trace::Tracer& World::tracer() { return *s_->tracer; }
+
+bool World::same_node(int a, int b) const {
+  const int rpn = s_->cfg.ranks_per_node;
+  return a / rpn == b / rpn;
+}
+
+RankCtx& World::rank_ctx(int rank) {
+  return *s_->ranks[static_cast<std::size_t>(rank)];
+}
+
+Vci& World::vci(int rank, int vci_id) {
+  RankCtx& rc = *s_->ranks[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> g(rc.vcis_mu);
+  expects(vci_id >= 0 && vci_id < static_cast<int>(rc.vcis.size()),
+          "vci id out of range");
+  return *rc.vcis[static_cast<std::size_t>(vci_id)];
+}
+
+shm::ShmTransport& World::shm_transport() { return *s_->shm; }
+net::Nic& World::nic() { return *s_->nic; }
+
+Request World::grequest_start(int rank, core_detail::GrequestFns fns) {
+  expects(rank >= 0 && rank < size(), "grequest_start: rank out of range");
+  return grequest_start(null_stream(rank), fns);
+}
+
+Request World::grequest_start(const Stream& stream,
+                              core_detail::GrequestFns fns) {
+  expects(stream.valid() && &stream.world() == this,
+          "grequest_start: stream does not belong to this world");
+  auto* r = new core_detail::RequestImpl(core_detail::ReqKind::grequest);
+  r->world = this;
+  r->vci = &vci(stream.rank(), stream.vci());
+  r->self = stream.rank();
+  r->greq = fns;
+  return Request(base::Ref<core_detail::RequestImpl>(r));
+}
+
+void World::grequest_complete(Request& req) {
+  auto* r = req.impl();
+  expects(r != nullptr && r->kind == core_detail::ReqKind::grequest,
+          "grequest_complete: not a generalized request");
+  core_detail::complete_request(r, Err::success);
+}
+
+std::int32_t World::alloc_context_ids(int count) {
+  expects(count >= 1, "alloc_context_ids: bad count");
+  return s_->next_context_id.fetch_add(count, std::memory_order_relaxed);
+}
+
+}  // namespace mpx

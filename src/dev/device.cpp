@@ -1,0 +1,126 @@
+#include "mpx/dev/device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mpx/ext/grequest_poll.hpp"
+
+namespace mpx::dev {
+
+SimDevice::SimDevice(World& world, DeviceModel model)
+    : world_(&world), model_(model) {}
+
+DeviceBuffer SimDevice::alloc(std::size_t bytes) {
+  return DeviceBuffer(std::make_shared<std::vector<std::byte>>(bytes));
+}
+
+namespace {
+
+struct CopyOp {
+  World* world;
+  SimDevice* device;
+  double due;
+  // Exactly one of the four pointer pairs below is active per direction;
+  // shared_ptrs keep device allocations alive across the copy.
+  std::shared_ptr<std::vector<std::byte>> dmem;
+  std::size_t doff;
+  std::shared_ptr<std::vector<std::byte>> smem;
+  std::size_t soff;
+  std::byte* host_dst;
+  const std::byte* host_src;
+  std::size_t bytes;
+  std::uint64_t* counter;
+  base::Spinlock* counter_mu;
+
+  void apply() const {
+    // The data movement happens "on the device" and is only made visible at
+    // completion time — before this, the destination holds stale bytes.
+    if (host_src != nullptr) {  // h2d
+      std::memcpy(dmem->data() + doff, host_src, bytes);
+    } else if (host_dst != nullptr) {  // d2h
+      std::memcpy(host_dst, smem->data() + soff, bytes);
+    } else {  // d2d
+      std::memmove(dmem->data() + doff, smem->data() + soff, bytes);
+    }
+    std::lock_guard<base::Spinlock> g(*counter_mu);
+    ++*counter;
+  }
+};
+
+bool copy_poll(void* state) {
+  auto* op = static_cast<CopyOp*>(state);
+  if (op->world->wtime() < op->due) return false;
+  op->apply();
+  return true;
+}
+
+void copy_free(void* state) { delete static_cast<CopyOp*>(state); }
+
+}  // namespace
+
+Request SimDevice::submit(Dir dir, DeviceBuffer dbuf, std::size_t doff,
+                          DeviceBuffer sbuf, std::size_t soff,
+                          std::byte* host, const std::byte* chost,
+                          std::size_t bytes, const Stream& stream) {
+  expects(stream.valid(), "SimDevice: invalid stream");
+  double bw = model_.d2d_Bps;
+  if (dir == Dir::h2d) bw = model_.h2d_Bps;
+  if (dir == Dir::d2h) bw = model_.d2h_Bps;
+
+  auto op = std::make_unique<CopyOp>();
+  op->world = world_;
+  op->device = this;
+  op->dmem = dbuf.mem_;
+  op->doff = doff;
+  op->smem = sbuf.mem_;
+  op->soff = soff;
+  op->host_dst = host;
+  op->host_src = chost;
+  op->bytes = bytes;
+  op->counter = &copies_;
+  op->counter_mu = &mu_;
+  {
+    // One DMA queue per device: copies serialize in issue order.
+    std::lock_guard<base::Spinlock> g(mu_);
+    const double start = std::max(world_->wtime(), queue_clear_time_);
+    op->due = start + model_.launch_latency +
+              static_cast<double>(bytes) / bw;
+    queue_clear_time_ = op->due;
+  }
+  return ext::grequest_start_with_poll(*world_, stream, &copy_poll,
+                                       &copy_free, op.release());
+}
+
+Request SimDevice::imemcpy_h2d(DeviceBuffer dst, std::size_t dst_off,
+                               base::ConstByteSpan src,
+                               const Stream& stream) {
+  expects(dst.valid() && dst_off + src.size() <= dst.size(),
+          "imemcpy_h2d: range out of bounds");
+  return submit(Dir::h2d, dst, dst_off, DeviceBuffer(), 0, nullptr,
+                src.data(), src.size(), stream);
+}
+
+Request SimDevice::imemcpy_d2h(base::ByteSpan dst, DeviceBuffer src,
+                               std::size_t src_off, const Stream& stream) {
+  expects(src.valid() && src_off + dst.size() <= src.size(),
+          "imemcpy_d2h: range out of bounds");
+  return submit(Dir::d2h, DeviceBuffer(), 0, src, src_off, dst.data(),
+                nullptr, dst.size(), stream);
+}
+
+Request SimDevice::imemcpy_d2d(DeviceBuffer dst, std::size_t dst_off,
+                               DeviceBuffer src, std::size_t src_off,
+                               std::size_t bytes, const Stream& stream) {
+  expects(dst.valid() && src.valid() && dst_off + bytes <= dst.size() &&
+              src_off + bytes <= src.size(),
+          "imemcpy_d2d: range out of bounds");
+  return submit(Dir::d2d, dst, dst_off, src, src_off, nullptr, nullptr,
+                bytes, stream);
+}
+
+std::uint64_t SimDevice::copies_completed() const {
+  std::lock_guard<base::Spinlock> g(mu_);
+  return copies_;
+}
+
+}  // namespace mpx::dev

@@ -1,0 +1,51 @@
+#include "mpx/dtype/pack_engine.hpp"
+
+#include <algorithm>
+
+namespace mpx::dtype {
+
+PackWork::PackWork(PackDir dir, void* typed_buf, std::size_t count,
+                   Datatype dt, base::ByteSpan packed, std::size_t chunk)
+    : dir_(dir),
+      seg_(typed_buf, count, std::move(dt)),
+      packed_(packed),
+      chunk_(chunk == 0 ? seg_.packed_size() : chunk) {
+  expects(packed_.size() >= seg_.packed_size(),
+          "PackWork: packed buffer too small");
+}
+
+bool PackWork::poll() {
+  if (seg_.done()) return false;
+  const std::size_t pos = seg_.position();
+  const std::size_t n =
+      std::min(chunk_, seg_.packed_size() - pos);
+  if (dir_ == PackDir::pack) {
+    seg_.pack(packed_.subspan(pos, n));
+  } else {
+    seg_.unpack(base::ConstByteSpan(packed_.data() + pos, n));
+  }
+  return seg_.done();
+}
+
+void PackEngine::submit(std::unique_ptr<PackWork> work, DoneFn on_done,
+                        void* cookie) {
+  expects(work != nullptr, "PackEngine::submit: null work");
+  active_.push_back(Entry{std::move(work), on_done, cookie});
+}
+
+int PackEngine::progress(int* made_progress) {
+  int completed = 0;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (made_progress != nullptr) *made_progress = 1;
+    if (it->work->poll()) {
+      if (it->on_done != nullptr) it->on_done(it->cookie);
+      it = active_.erase(it);
+      ++completed;
+    } else {
+      ++it;
+    }
+  }
+  return completed;
+}
+
+}  // namespace mpx::dtype

@@ -1,0 +1,128 @@
+#include "mpx/dtype/reduce_op.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mpx::dtype {
+
+std::string to_string(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::sum: return "sum";
+    case ReduceOp::prod: return "prod";
+    case ReduceOp::min: return "min";
+    case ReduceOp::max: return "max";
+    case ReduceOp::land: return "land";
+    case ReduceOp::lor: return "lor";
+    case ReduceOp::band: return "band";
+    case ReduceOp::bor: return "bor";
+  }
+  return "?";
+}
+
+namespace {
+
+template <class T>
+void apply_arith(ReduceOp op, const T* in, T* inout, std::size_t n) {
+  switch (op) {
+    case ReduceOp::sum:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = inout[i] + in[i];
+      break;
+    case ReduceOp::prod:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = inout[i] * in[i];
+      break;
+    case ReduceOp::min:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = std::min(inout[i], in[i]);
+      break;
+    case ReduceOp::max:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = std::max(inout[i], in[i]);
+      break;
+    case ReduceOp::land:
+      for (std::size_t i = 0; i < n; ++i)
+        inout[i] = static_cast<T>((inout[i] != T{}) && (in[i] != T{}));
+      break;
+    case ReduceOp::lor:
+      for (std::size_t i = 0; i < n; ++i)
+        inout[i] = static_cast<T>((inout[i] != T{}) || (in[i] != T{}));
+      break;
+    default:
+      ensures(false, "reduce_apply: bitwise op dispatched to arithmetic path");
+  }
+}
+
+template <class T>
+void apply_integral(ReduceOp op, const T* in, T* inout, std::size_t n) {
+  switch (op) {
+    case ReduceOp::band:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = inout[i] & in[i];
+      break;
+    case ReduceOp::bor:
+      for (std::size_t i = 0; i < n; ++i) inout[i] = inout[i] | in[i];
+      break;
+    default:
+      apply_arith(op, in, inout, n);
+      break;
+  }
+}
+
+bool is_bitwise(ReduceOp op) {
+  return op == ReduceOp::band || op == ReduceOp::bor;
+}
+
+}  // namespace
+
+void reduce_apply(ReduceOp op, const void* in, void* inout, std::size_t count,
+                  const Datatype& dt) {
+  expects(dt.valid() && dt.homogeneous(),
+          "reduce_apply: requires a homogeneous datatype");
+  // Count is in datatype elements; reduce over the underlying primitives.
+  const std::size_t prim = primitive_size(dt.leaf());
+  ensures(dt.size() % prim == 0, "reduce_apply: size not multiple of leaf");
+  const std::size_t n = count * (dt.size() / prim);
+  switch (dt.leaf()) {
+    case Primitive::byte:
+    case Primitive::uint8:
+      apply_integral(op, static_cast<const std::uint8_t*>(in),
+                     static_cast<std::uint8_t*>(inout), n);
+      break;
+    case Primitive::int8:
+      apply_integral(op, static_cast<const std::int8_t*>(in),
+                     static_cast<std::int8_t*>(inout), n);
+      break;
+    case Primitive::int16:
+      apply_integral(op, static_cast<const std::int16_t*>(in),
+                     static_cast<std::int16_t*>(inout), n);
+      break;
+    case Primitive::uint16:
+      apply_integral(op, static_cast<const std::uint16_t*>(in),
+                     static_cast<std::uint16_t*>(inout), n);
+      break;
+    case Primitive::int32:
+      apply_integral(op, static_cast<const std::int32_t*>(in),
+                     static_cast<std::int32_t*>(inout), n);
+      break;
+    case Primitive::uint32:
+      apply_integral(op, static_cast<const std::uint32_t*>(in),
+                     static_cast<std::uint32_t*>(inout), n);
+      break;
+    case Primitive::int64:
+      apply_integral(op, static_cast<const std::int64_t*>(in),
+                     static_cast<std::int64_t*>(inout), n);
+      break;
+    case Primitive::uint64:
+      apply_integral(op, static_cast<const std::uint64_t*>(in),
+                     static_cast<std::uint64_t*>(inout), n);
+      break;
+    case Primitive::float32:
+      expects(!is_bitwise(op), "reduce_apply: bitwise op on float32");
+      apply_arith(op, static_cast<const float*>(in), static_cast<float*>(inout),
+                  n);
+      break;
+    case Primitive::float64:
+      expects(!is_bitwise(op), "reduce_apply: bitwise op on float64");
+      apply_arith(op, static_cast<const double*>(in),
+                  static_cast<double*>(inout), n);
+      break;
+  }
+}
+
+}  // namespace mpx::dtype

@@ -1,0 +1,102 @@
+#include "mpx/ext/continue.hpp"
+
+#include <atomic>
+
+#include "core/internal.hpp"
+
+namespace mpx::ext {
+namespace {
+
+using core_detail::RequestImpl;
+
+struct ContState {
+  std::atomic<int> outstanding{0};
+  Request greq;  // the user-visible continuation request
+};
+
+struct Attachment {
+  ContinueCb cb;
+  void* cb_data;
+  ContState* cont;
+};
+
+void maybe_finish(ContState* cont) {
+  // Last continuation fired: complete the continuation request and free the
+  // shared state (the user still holds the Request handle).
+  if (cont->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    Request greq = cont->greq;
+    greq.impl()->greq.extra_state = nullptr;  // attaches now fail cleanly
+    delete cont;
+    World::grequest_complete(greq);
+  }
+}
+
+void on_complete_trampoline(RequestImpl* r, void* arg) {
+  auto* a = static_cast<Attachment*>(arg);
+  a->cb(r->status, a->cb_data);
+  maybe_finish(a->cont);
+  delete a;
+}
+
+}  // namespace
+
+Request continue_init(World& world, const Stream& stream) {
+  auto* cont = new ContState();
+  cont->greq = world.grequest_start(stream, core_detail::GrequestFns{});
+  cont->outstanding.store(1, std::memory_order_relaxed);  // armed sentinel
+  Request out = cont->greq;
+  // Stash the state pointer in the grequest's extra_state for attach().
+  out.impl()->greq.extra_state = cont;
+  return out;
+}
+
+void continue_attach(Request& op_request, ContinueCb cb, void* cb_data,
+                     Request& cont_req) {
+  expects(op_request.valid(), "continue_attach: invalid operation request");
+  expects(cont_req.valid() &&
+              cont_req.impl()->kind == core_detail::ReqKind::grequest,
+          "continue_attach: cont_req is not a continuation request");
+  auto* cont = static_cast<ContState*>(cont_req.impl()->greq.extra_state);
+  expects(cont != nullptr,
+          "continue_attach: continuation request already completed");
+
+  RequestImpl* r = op_request.impl();
+  cont->outstanding.fetch_add(1, std::memory_order_relaxed);
+  auto* a = new Attachment{cb, cb_data, cont};
+
+  bool fire_now = false;
+  {
+    // The completion path runs under the op's VCI lock; serialize with it.
+    std::lock_guard<base::InstrumentedMutex> g(r->vci->mu);
+    if (r->complete.load(std::memory_order_acquire)) {
+      fire_now = true;
+    } else {
+      expects(r->on_complete == nullptr,
+              "continue_attach: request already has a continuation");
+      r->on_complete = &on_complete_trampoline;
+      r->on_complete_arg = a;
+    }
+  }
+  if (fire_now) {
+    a->cb(r->status, a->cb_data);
+    maybe_finish(a->cont);
+    delete a;
+  }
+}
+
+void continue_ready(Request& cont_req) {
+  expects(cont_req.valid(), "continue_ready: invalid request");
+  auto* cont = static_cast<ContState*>(cont_req.impl()->greq.extra_state);
+  expects(cont != nullptr, "continue_ready: already completed or not armed");
+  maybe_finish(cont);  // drop the arming sentinel from continue_init
+}
+
+void continue_attach_all(std::span<Request> op_requests, ContinueCb cb,
+                         void* cb_data, Request& cont_req) {
+  for (Request& r : op_requests) {
+    continue_attach(r, cb, cb_data, cont_req);
+  }
+  continue_ready(cont_req);
+}
+
+}  // namespace mpx::ext

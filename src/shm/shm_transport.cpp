@@ -1,0 +1,132 @@
+#include "mpx/shm/shm_transport.hpp"
+
+#include "mpx/base/status.hpp"
+
+namespace mpx::shm {
+
+using transport::Msg;
+
+ShmTransport::ShmTransport(int nranks, int max_vcis, std::size_t cells)
+    : nranks_(nranks),
+      max_vcis_(max_vcis),
+      cells_(cells),
+      channels_(static_cast<std::size_t>(nranks) * nranks * max_vcis),
+      pending_(static_cast<std::size_t>(nranks) * max_vcis) {
+  expects(nranks >= 1 && max_vcis >= 1 && cells >= 1,
+          "ShmTransport: bad dimensions");
+}
+
+ShmTransport::Channel& ShmTransport::channel(int src, int dst, int vci) {
+  return channels_[(static_cast<std::size_t>(src) * nranks_ + dst) *
+                       max_vcis_ +
+                   vci];
+}
+const ShmTransport::Channel& ShmTransport::channel(int src, int dst,
+                                                   int vci) const {
+  return channels_[(static_cast<std::size_t>(src) * nranks_ + dst) *
+                       max_vcis_ +
+                   vci];
+}
+ShmTransport::Pending& ShmTransport::pending(int rank, int vci) {
+  return pending_[static_cast<std::size_t>(rank) * max_vcis_ + vci];
+}
+const ShmTransport::Pending& ShmTransport::pending(int rank, int vci) const {
+  return pending_[static_cast<std::size_t>(rank) * max_vcis_ + vci];
+}
+
+bool ShmTransport::send(Msg&& m, std::uint64_t cookie) {
+  expects(m.h.src_rank >= 0 && m.h.src_rank < nranks_ && m.h.dst_rank >= 0 &&
+              m.h.dst_rank < nranks_,
+          "ShmTransport::send: rank out of range");
+  expects(m.h.dst_vci >= 0 && m.h.dst_vci < max_vcis_,
+          "ShmTransport::send: vci out of range");
+  sends_.fetch_add(1, std::memory_order_relaxed);
+
+  Pending& pq = pending(m.h.src_rank, m.h.src_vci);
+  {
+    // Preserve channel FIFO order: if anything is already parked for this
+    // source endpoint, new sends must queue behind it.
+    std::lock_guard<base::Spinlock> g(pq.mu);
+    if (!pq.q.empty()) {
+      ring_full_.fetch_add(1, std::memory_order_relaxed);
+      pq.q.emplace_back(std::move(m), cookie);
+      return false;
+    }
+  }
+
+  Channel& ch = channel(m.h.src_rank, m.h.dst_rank, m.h.dst_vci);
+  {
+    std::lock_guard<base::Spinlock> g(ch.mu);
+    if (ch.ring.size() < cells_) {
+      ch.ring.push_back(std::move(m));
+      return true;
+    }
+  }
+  ring_full_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<base::Spinlock> g(pq.mu);
+  pq.q.emplace_back(std::move(m), cookie);
+  return false;
+}
+
+void ShmTransport::poll(int rank, int vci, transport::TransportSink& sink,
+                        int* made_progress) {
+  // 1) Retry parked sends from this endpoint (send-side progress).
+  Pending& pq = pending(rank, vci);
+  if (!pq.q.empty()) {  // racy hint; re-checked under the lock
+    for (;;) {
+      std::uint64_t done_cookie = 0;
+      {
+        std::lock_guard<base::Spinlock> g(pq.mu);
+        if (pq.q.empty()) break;
+        auto& [msg, cookie] = pq.q.front();
+        Channel& ch = channel(msg.h.src_rank, msg.h.dst_rank, msg.h.dst_vci);
+        std::lock_guard<base::Spinlock> cg(ch.mu);
+        if (ch.ring.size() >= cells_) break;  // still full
+        ch.ring.push_back(std::move(msg));
+        done_cookie = cookie;
+        pq.q.pop_front();
+      }
+      if (made_progress != nullptr) *made_progress = 1;
+      if (done_cookie != 0) sink.on_send_complete(done_cookie);
+    }
+  }
+
+  // 2) Deliver arrived messages destined to (rank, vci).
+  for (int src = 0; src < nranks_; ++src) {
+    Channel& ch = channel(src, rank, vci);
+    for (;;) {
+      Msg m;
+      {
+        std::lock_guard<base::Spinlock> g(ch.mu);
+        if (ch.ring.empty()) break;
+        m = std::move(ch.ring.front());
+        ch.ring.pop_front();
+      }
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+      if (made_progress != nullptr) *made_progress = 1;
+      sink.on_msg(std::move(m));
+    }
+  }
+}
+
+bool ShmTransport::idle(int rank, int vci) const {
+  {
+    const Pending& pq = pending(rank, vci);
+    std::lock_guard<base::Spinlock> g(pq.mu);
+    if (!pq.q.empty()) return false;
+  }
+  for (int src = 0; src < nranks_; ++src) {
+    const Channel& ch = channel(src, rank, vci);
+    std::lock_guard<base::Spinlock> g(ch.mu);
+    if (!ch.ring.empty()) return false;
+  }
+  return true;
+}
+
+ShmStats ShmTransport::stats() const {
+  return ShmStats{sends_.load(std::memory_order_relaxed),
+                  ring_full_.load(std::memory_order_relaxed),
+                  delivered_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace mpx::shm

@@ -1,0 +1,43 @@
+#include "mpx/task/deadline.hpp"
+
+namespace mpx::task {
+namespace {
+
+struct DummyState {
+  World* world;
+  double wtime_finish;
+  std::atomic<int>* counter;
+  base::LatencyRecorder* rec;
+};
+
+// Listing 1.2's dummy_poll, with the latency bookkeeping of Listing 1.3.
+AsyncResult dummy_poll(AsyncThing& thing) {
+  auto* p = static_cast<DummyState*>(thing.state());
+  const double wtime = p->world->wtime();
+  if (wtime >= p->wtime_finish) {
+    if (p->rec != nullptr) p->rec->add(wtime - p->wtime_finish);
+    if (p->counter != nullptr) {
+      p->counter->fetch_sub(1, std::memory_order_relaxed);
+    }
+    delete p;
+    return AsyncResult::done;
+  }
+  return AsyncResult::noprogress;
+}
+
+}  // namespace
+
+void add_dummy_task_abs(const Stream& stream, double deadline,
+                        std::atomic<int>* counter,
+                        base::LatencyRecorder* rec) {
+  auto* p = new DummyState{&stream.world(), deadline, counter, rec};
+  async_start(&dummy_poll, p, stream);
+}
+
+void add_dummy_task(const Stream& stream, double duration_s,
+                    std::atomic<int>* counter, base::LatencyRecorder* rec) {
+  add_dummy_task_abs(stream, stream.world().wtime() + duration_s, counter,
+                     rec);
+}
+
+}  // namespace mpx::task

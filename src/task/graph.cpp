@@ -1,0 +1,67 @@
+#include "mpx/task/graph.hpp"
+
+#include <algorithm>
+
+namespace mpx::task {
+
+TaskGraph::NodeId TaskGraph::add(std::function<AsyncResult()> poll,
+                                 std::initializer_list<NodeId> deps) {
+  return add(std::move(poll), std::vector<NodeId>(deps));
+}
+
+TaskGraph::NodeId TaskGraph::add(std::function<AsyncResult()> poll,
+                                 const std::vector<NodeId>& deps) {
+  expects(!launched_, "TaskGraph::add: graph already launched");
+  expects(static_cast<bool>(poll), "TaskGraph::add: empty poll");
+  const NodeId id = nodes_.size();
+  Node n;
+  n.poll = std::move(poll);
+  n.missing_deps = static_cast<int>(deps.size());
+  nodes_.push_back(std::move(n));
+  for (NodeId d : deps) {
+    expects(d < id, "TaskGraph::add: dependency on a later node");
+    nodes_[d].dependents.push_back(id);
+  }
+  if (deps.empty()) ready_.push_back(id);
+  return id;
+}
+
+void TaskGraph::launch(const Stream& stream) {
+  expects(!launched_, "TaskGraph::launch: already launched");
+  launched_ = true;
+  if (nodes_.empty()) {
+    done_.store(true, std::memory_order_release);
+    return;
+  }
+  async_start(&TaskGraph::trampoline, this, stream);
+}
+
+AsyncResult TaskGraph::trampoline(AsyncThing& thing) {
+  return static_cast<TaskGraph*>(thing.state())->poll();
+}
+
+AsyncResult TaskGraph::poll() {
+  // Poll the current frontier; completions can unlock new ready nodes that
+  // are polled in the same pass (they were appended to ready_).
+  for (std::size_t i = 0; i < ready_.size();) {
+    Node& n = nodes_[ready_[i]];
+    if (n.poll() == AsyncResult::done) {
+      n.completed = true;
+      ++completed_count_;
+      for (NodeId dep : n.dependents) {
+        if (--nodes_[dep].missing_deps == 0) ready_.push_back(dep);
+      }
+      ready_[i] = ready_.back();
+      ready_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  if (completed_count_ == nodes_.size()) {
+    done_.store(true, std::memory_order_release);
+    return AsyncResult::done;
+  }
+  return AsyncResult::noprogress;
+}
+
+}  // namespace mpx::task

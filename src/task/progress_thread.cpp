@@ -1,0 +1,56 @@
+#include "mpx/task/progress_thread.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace mpx::task {
+
+ProgressThread::ProgressThread(Stream stream, ProgressBackoff backoff)
+    : stream_(std::move(stream)), backoff_(backoff) {
+  expects(stream_.valid(), "ProgressThread: invalid stream");
+  thread_ = base::ScopedThread([this] { run(); });
+}
+
+ProgressThread::~ProgressThread() { stop(); }
+
+void ProgressThread::stop() {
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+}
+
+void ProgressThread::run() {
+  base::set_current_thread_name("mpx-progress");
+  std::uint64_t idle_streak = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int made = stream_progress(stream_);
+    iterations_.fetch_add(1, std::memory_order_relaxed);
+    if (made != 0) {
+      productive_.fetch_add(1, std::memory_order_relaxed);
+      idle_streak = 0;
+      continue;
+    }
+    ++idle_streak;
+    switch (backoff_) {
+      case ProgressBackoff::busy:
+        base::cpu_relax();
+        break;
+      case ProgressBackoff::yield:
+        std::this_thread::yield();
+        break;
+      case ProgressBackoff::sleep: {
+        // Exponential backoff capped at ~100 us keeps idle cost near zero
+        // while bounding added latency when work reappears.
+        const std::uint64_t us =
+            idle_streak < 8 ? 0 : std::min<std::uint64_t>(100, 1ull << std::min<std::uint64_t>(idle_streak - 8, 6));
+        if (us == 0) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(us));
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace mpx::task

@@ -1,0 +1,66 @@
+#include "mpx/task/task_queue.hpp"
+
+namespace mpx::task {
+
+AsyncResult TaskQueue::trampoline(AsyncThing& thing) {
+  return static_cast<TaskQueue*>(thing.state())->class_poll();
+}
+
+TaskQueue::~TaskQueue() {
+  // The progress hook holds `this`: drain before dying. Destroying a queue
+  // whose tasks can no longer complete is a deadlock by contract.
+  drain();
+}
+
+void TaskQueue::push(std::function<bool()> poll) {
+  expects(static_cast<bool>(poll), "TaskQueue::push: empty task");
+  bool need_hook = false;
+  {
+    std::lock_guard<base::Spinlock> g(mu_);
+    q_.push_back(std::move(poll));
+    if (!hook_active_) {
+      hook_active_ = true;
+      need_hook = true;
+    }
+  }
+  if (need_hook) {
+    async_start(&TaskQueue::trampoline, this, stream_);
+  }
+}
+
+std::size_t TaskQueue::pending() const {
+  std::lock_guard<base::Spinlock> g(mu_);
+  return q_.size();
+}
+
+void TaskQueue::drain() {
+  for (;;) {
+    {
+      std::lock_guard<base::Spinlock> g(mu_);
+      if (!hook_active_) return;
+    }
+    stream_progress(stream_);
+  }
+}
+
+AsyncResult TaskQueue::class_poll() {
+  // Head-only polling (Listing 1.4): tasks complete in order, so the cost of
+  // one progress pass is O(1) regardless of queue depth.
+  for (;;) {
+    std::function<bool()>* head = nullptr;
+    {
+      std::lock_guard<base::Spinlock> g(mu_);
+      if (q_.empty()) {
+        hook_active_ = false;
+        return AsyncResult::done;
+      }
+      head = &q_.front();
+    }
+    // Run outside the queue lock: the task may push follow-on work.
+    if (!(*head)()) return AsyncResult::noprogress;
+    std::lock_guard<base::Spinlock> g(mu_);
+    q_.pop_front();
+  }
+}
+
+}  // namespace mpx::task

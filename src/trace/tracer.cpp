@@ -1,0 +1,44 @@
+#include "mpx/trace/tracer.hpp"
+
+#include <ostream>
+
+namespace mpx::trace {
+
+std::string to_string(Event e) {
+  switch (e) {
+    case Event::post_send: return "post_send";
+    case Event::post_recv: return "post_recv";
+    case Event::match: return "match";
+    case Event::unexpected: return "unexpected";
+    case Event::rts: return "rts";
+    case Event::cts: return "cts";
+    case Event::data: return "data";
+    case Event::ack: return "ack";
+    case Event::complete: return "complete";
+    case Event::cancel: return "cancel";
+  }
+  return "?";
+}
+
+std::vector<Record> Tracer::snapshot() const {
+  std::lock_guard<base::Spinlock> g(mu_);
+  std::vector<Record> out;
+  if (cap_ == 0 || next_ == 0) return out;
+  const std::uint64_t n = next_ < cap_ ? next_ : cap_;
+  out.reserve(static_cast<std::size_t>(n));
+  const std::uint64_t first = next_ - n;
+  for (std::uint64_t i = first; i < next_; ++i) {
+    out.push_back(ring_[static_cast<std::size_t>(i % cap_)]);
+  }
+  return out;
+}
+
+void Tracer::dump(std::ostream& os) const {
+  for (const Record& r : snapshot()) {
+    os << r.t * 1e6 << "us rank" << r.rank << "/vci" << r.vci << " "
+       << to_string(r.ev) << " peer=" << r.peer << " tag=" << r.tag
+       << " bytes=" << r.bytes << " detail=" << r.detail << "\n";
+  }
+}
+
+}  // namespace mpx::trace

@@ -1,0 +1,194 @@
+// Extended collective coverage: exscan, v-variants, stream-comm
+// collectives, and concurrent collectives across communicators.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpx/coll/coll.hpp"
+#include "test_util.hpp"
+
+using namespace mpx;
+
+TEST(CollVariable, Exscan) {
+  auto w = World::create(WorldConfig{.nranks = 5});
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Comm c = w->comm_world(rank);
+    std::int32_t v = rank + 1;
+    std::int32_t out = -999;
+    coll::exscan(&v, &out, 1, dtype::Datatype::int32(), dtype::ReduceOp::sum,
+                 c);
+    if (rank == 0) {
+      EXPECT_EQ(out, -999);  // rank 0's recvbuf untouched (MPI semantics)
+    } else {
+      EXPECT_EQ(out, rank * (rank + 1) / 2);  // sum of 1..rank
+    }
+    w->finalize_rank(rank);
+  });
+}
+
+TEST(CollVariable, GathervScattervRoundTrip) {
+  auto w = World::create(WorldConfig{.nranks = 4});
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Comm c = w->comm_world(rank);
+    const int n = c.size();
+    // Rank r contributes r+1 elements.
+    std::vector<std::size_t> counts, displs;
+    std::size_t total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts.push_back(static_cast<std::size_t>(r) + 1);
+      displs.push_back(total);
+      total += counts.back();
+    }
+    std::vector<std::int32_t> mine(counts[static_cast<std::size_t>(rank)],
+                                   rank * 10);
+    std::vector<std::int32_t> gathered(total, -1);
+    coll::gatherv(mine.data(), mine.size(), dtype::Datatype::int32(),
+                  gathered.data(), counts, displs, 2, c);
+    if (rank == 2) {
+      for (int r = 0; r < n; ++r) {
+        for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)]; ++i) {
+          ASSERT_EQ(gathered[displs[static_cast<std::size_t>(r)] + i], r * 10);
+        }
+      }
+    }
+    // Scatter it back out; every rank must recover its own block.
+    std::vector<std::int32_t> back(counts[static_cast<std::size_t>(rank)], -1);
+    coll::scatterv(gathered.data(), counts, displs, dtype::Datatype::int32(),
+                   back.data(), back.size(), 2, c);
+    for (auto x : back) ASSERT_EQ(x, rank * 10);
+    w->finalize_rank(rank);
+  });
+}
+
+TEST(CollVariable, Allgatherv) {
+  auto w = World::create(WorldConfig{.nranks = 5});
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Comm c = w->comm_world(rank);
+    const int n = c.size();
+    std::vector<std::size_t> counts, displs;
+    std::size_t total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts.push_back(static_cast<std::size_t>(2 * r + 1));
+      displs.push_back(total);
+      total += counts.back();
+    }
+    std::vector<std::int64_t> mine(counts[static_cast<std::size_t>(rank)],
+                                   100 + rank);
+    std::vector<std::int64_t> all(total, -1);
+    coll::allgatherv(mine.data(), mine.size(), dtype::Datatype::int64(),
+                     all.data(), counts, displs, c);
+    for (int r = 0; r < n; ++r) {
+      for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)]; ++i) {
+        ASSERT_EQ(all[displs[static_cast<std::size_t>(r)] + i], 100 + r);
+      }
+    }
+    w->finalize_rank(rank);
+  });
+}
+
+TEST(CollStream, CollectivesOnStreamCommunicator) {
+  // Collectives on a stream communicator run entirely on the streams' VCIs;
+  // the default stream stays quiet.
+  auto w = World::create(WorldConfig{.nranks = 3});
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Stream s = w->stream_create(rank);
+    Comm sc = w->comm_world(rank).with_stream(s);
+    const auto vci0_calls_before = w->vci_progress_calls(rank, 0);
+
+    std::int64_t v = rank + 1, sum = 0;
+    coll::allreduce(&v, &sum, 1, dtype::Datatype::int64(),
+                    dtype::ReduceOp::sum, sc);
+    EXPECT_EQ(sum, 6);
+    std::int32_t b = rank == 0 ? 55 : 0;
+    coll::bcast(&b, 1, dtype::Datatype::int32(), 0, sc);
+    EXPECT_EQ(b, 55);
+
+    EXPECT_EQ(w->vci_progress_calls(rank, 0), vci0_calls_before);
+    w->finalize_rank(rank);
+  });
+}
+
+TEST(CollStream, ConcurrentCollectivesOnSplitComms) {
+  // Disjoint split communicators run collectives concurrently without
+  // interference (distinct collective contexts).
+  auto w = World::create(WorldConfig{.nranks = 6});
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Comm c = w->comm_world(rank);
+    Comm sub = c.split(rank % 2, rank);
+    std::int64_t v = rank, sum = -1;
+    coll::allreduce(&v, &sum, 1, dtype::Datatype::int64(),
+                    dtype::ReduceOp::sum, sub);
+    const std::int64_t expect = rank % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5;
+    EXPECT_EQ(sum, expect);
+    // A world-comm barrier still works across the split.
+    coll::barrier(c);
+    w->finalize_rank(rank);
+  });
+}
+
+TEST(CollEdge, SingleRankCollectivesAreLocal) {
+  auto w = World::create(WorldConfig{.nranks = 1});
+  Comm c = w->comm_world(0);
+  std::int32_t v = 7, out = 0;
+  coll::allreduce(&v, &out, 1, dtype::Datatype::int32(),
+                  dtype::ReduceOp::sum, c);
+  EXPECT_EQ(out, 7);
+  coll::bcast(&v, 1, dtype::Datatype::int32(), 0, c);
+  coll::barrier(c);
+  std::int32_t scanout = 0;
+  coll::scan(&v, &scanout, 1, dtype::Datatype::int32(),
+             dtype::ReduceOp::sum, c);
+  EXPECT_EQ(scanout, 7);
+  w->finalize_rank(0);
+}
+
+TEST(CollEdge, ZeroCountCollectives) {
+  auto w = World::create(WorldConfig{.nranks = 3});
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Comm c = w->comm_world(rank);
+    coll::allreduce(nullptr, nullptr, 0, dtype::Datatype::int32(),
+                    dtype::ReduceOp::sum, c);
+    coll::bcast(nullptr, 0, dtype::Datatype::int32(), 1, c);
+    w->finalize_rank(rank);
+  });
+}
+
+TEST(CollPersistent, BarrierAndAllreduceCycles) {
+  auto w = World::create(WorldConfig{.nranks = 4});
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Comm c = w->comm_world(rank);
+    std::int64_t in = 0, out = 0;
+    Request pbar = coll::barrier_init(c);
+    Request pall = coll::allreduce_init(&in, &out, 1,
+                                        dtype::Datatype::int64(),
+                                        dtype::ReduceOp::sum, c);
+    EXPECT_TRUE(pbar.is_complete());  // born inactive
+    for (int cycle = 0; cycle < 5; ++cycle) {
+      in = rank * 10 + cycle;
+      start(pall);
+      pall.wait();
+      EXPECT_EQ(out, (0 + 10 + 20 + 30) + 4 * cycle);
+      start(pbar);
+      pbar.wait();
+    }
+    w->finalize_rank(rank);
+  });
+}
+
+TEST(CollPersistent, BcastCycles) {
+  auto w = World::create(WorldConfig{.nranks = 3});
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Comm c = w->comm_world(rank);
+    std::int32_t buf = -1;
+    Request pb = coll::bcast_init(&buf, 1, dtype::Datatype::int32(), 1, c);
+    for (int cycle = 0; cycle < 4; ++cycle) {
+      if (rank == 1) buf = cycle * 7;
+      start(pb);
+      pb.wait();
+      EXPECT_EQ(buf, cycle * 7);
+      coll::barrier(c);  // keep cycles in lock-step across members
+    }
+    w->finalize_rank(rank);
+  });
+}

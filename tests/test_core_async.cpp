@@ -1,0 +1,173 @@
+// MPIX_Async extension tests (§3.3, §4.1): hook registration, completion via
+// explicit stream progress, spawn, counters, and finalize draining.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mpx/task/deadline.hpp"
+#include "test_util.hpp"
+
+using namespace mpx;
+
+namespace {
+
+WorldConfig vclock_cfg(int nranks = 1) {
+  WorldConfig cfg;
+  cfg.nranks = nranks;
+  cfg.use_virtual_clock = true;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Async, DummyTaskCompletesOnlyWhenPolledPastDeadline) {
+  auto w = World::create(vclock_cfg());
+  Stream s = w->null_stream(0);
+  std::atomic<int> counter{1};
+  base::LatencyRecorder rec;
+  task::add_dummy_task(s, 1.0, &counter, &rec);
+
+  // Not due yet: polling makes no progress.
+  stream_progress(s);
+  EXPECT_EQ(counter.load(), 1);
+
+  // Deadline passed but NOT polled: still unobserved. The completion exists
+  // in time; only progress observes it (the paper's core premise).
+  w->virtual_clock()->advance(1.5);
+  EXPECT_EQ(counter.load(), 1);
+
+  stream_progress(s);
+  EXPECT_EQ(counter.load(), 0);
+  ASSERT_EQ(rec.count(), 1u);
+  // Observed 0.5 s late (we advanced to 1.5 with a 1.0 deadline).
+  EXPECT_NEAR(rec.summarize().mean_us, 0.5e6, 1.0);
+}
+
+TEST(Async, ManyTasksWaitLoop) {
+  // Listing 1.3: wait-progress loop on a shared counter.
+  auto w = World::create(vclock_cfg());
+  Stream s = w->null_stream(0);
+  constexpr int kTasks = 10;
+  std::atomic<int> counter{kTasks};
+  for (int i = 0; i < kTasks; ++i) {
+    task::add_dummy_task(s, 0.1 * (i + 1), &counter, nullptr);
+  }
+  int guard = 0;
+  while (counter.load() > 0) {
+    w->virtual_clock()->advance(0.05);
+    stream_progress(s);
+    ASSERT_LT(++guard, 1000);
+  }
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(Async, FinalizeSpinsUntilAsyncTasksComplete) {
+  // Listing 1.2: no explicit synchronization — finalize drains everything.
+  auto w = World::create(WorldConfig{.nranks = 1});  // steady clock
+  Stream s = w->null_stream(0);
+  std::atomic<int> counter{5};
+  for (int i = 0; i < 5; ++i) {
+    task::add_dummy_task(s, 1e-4 * (i + 1), &counter, nullptr);
+  }
+  w->finalize_rank(0);
+  EXPECT_EQ(counter.load(), 0);
+}
+
+namespace {
+
+struct SpawnState {
+  std::atomic<int>* events;
+  int depth;
+};
+
+AsyncResult spawning_poll(AsyncThing& thing) {
+  auto* st = static_cast<SpawnState*>(thing.state());
+  st->events->fetch_add(1);
+  if (st->depth > 0) {
+    // MPIX_Async_spawn: follow-on task registered after this poll returns.
+    thing.spawn(&spawning_poll,
+                new SpawnState{st->events, st->depth - 1}, thing.stream());
+  }
+  delete st;
+  return AsyncResult::done;
+}
+
+}  // namespace
+
+TEST(Async, SpawnChainsTasks) {
+  auto w = World::create(WorldConfig{.nranks = 1});
+  Stream s = w->null_stream(0);
+  std::atomic<int> events{0};
+  async_start(&spawning_poll, new SpawnState{&events, 3}, s);
+  // Each progress call pulls one generation out of the mailbox.
+  for (int i = 0; i < 10 && events.load() < 4; ++i) stream_progress(s);
+  EXPECT_EQ(events.load(), 4);  // root + 3 spawned generations
+  w->finalize_rank(0);
+}
+
+TEST(Async, FunctionObjectOverload) {
+  auto w = World::create(vclock_cfg());
+  Stream s = w->null_stream(0);
+  int calls = 0;
+  bool fired = false;
+  async_start(
+      [&]() -> AsyncResult {
+        ++calls;
+        if (w->wtime() >= 0.5) {
+          fired = true;
+          return AsyncResult::done;
+        }
+        return AsyncResult::pending;
+      },
+      s);
+  stream_progress(s);
+  stream_progress(s);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(calls, 2);
+  w->virtual_clock()->advance(1.0);
+  stream_progress(s);
+  EXPECT_TRUE(fired);
+  // Hook removed after done: further progress must not call it again.
+  stream_progress(s);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Async, EveryPendingTaskPolledEachProgressCall) {
+  // The Fig. 7 mechanism: N independent hooks => N polls per progress call.
+  auto w = World::create(vclock_cfg());
+  Stream s = w->null_stream(0);
+  constexpr int kTasks = 32;
+  std::atomic<int> polls{0};
+  for (int i = 0; i < kTasks; ++i) {
+    async_start(
+        [&polls, &w]() -> AsyncResult {
+          polls.fetch_add(1);
+          return w->wtime() >= 1.0 ? AsyncResult::done
+                                   : AsyncResult::pending;
+        },
+        s);
+  }
+  stream_progress(s);  // drains the mailbox and polls all
+  const int after_first = polls.load();
+  EXPECT_EQ(after_first, kTasks);
+  stream_progress(s);
+  EXPECT_EQ(polls.load(), 2 * kTasks);
+  w->virtual_clock()->advance(2.0);
+  stream_progress(s);
+  EXPECT_EQ(polls.load(), 3 * kTasks);
+  stream_progress(s);  // all done: no hooks left
+  EXPECT_EQ(polls.load(), 3 * kTasks);
+}
+
+TEST(Async, HookOnPrivateStreamNotPolledByNullStream) {
+  auto w = World::create(vclock_cfg());
+  Stream priv = w->stream_create(0);
+  std::atomic<int> counter{1};
+  task::add_dummy_task(priv, 0.1, &counter, nullptr);
+  w->virtual_clock()->advance(1.0);
+  stream_progress(w->null_stream(0));
+  EXPECT_EQ(counter.load(), 1);  // wrong stream: unobserved
+  stream_progress(priv);
+  EXPECT_EQ(counter.load(), 0);
+  w->stream_free(priv);
+}

@@ -1,0 +1,209 @@
+// Matching-engine semantics: wildcards, FIFO non-overtaking, unexpected
+// messages (eager and rendezvous), truncation, probe, cancel, and
+// communicator isolation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "test_util.hpp"
+
+using namespace mpx;
+
+TEST(Matching, AnySourceAnyTag) {
+  auto w = World::create(WorldConfig{.nranks = 3});
+  std::int32_t a = 10, b = 20;
+  w->comm_world(1).isend(&a, 1, dtype::Datatype::int32(), 0, 5);
+  w->comm_world(2).isend(&b, 1, dtype::Datatype::int32(), 0, 9);
+
+  Comm c0 = w->comm_world(0);
+  std::int32_t x = 0, y = 0;
+  Status s1 = c0.recv(&x, 1, dtype::Datatype::int32(), any_source, any_tag);
+  Status s2 = c0.recv(&y, 1, dtype::Datatype::int32(), any_source, any_tag);
+  // Both arrive; order between distinct sources is unspecified, but
+  // envelope/status must be internally consistent.
+  EXPECT_EQ(x + y, 30);
+  EXPECT_TRUE((s1.source == 1 && s1.tag == 5) ||
+              (s1.source == 2 && s1.tag == 9));
+  EXPECT_TRUE((s2.source == 1 && s2.tag == 5) ||
+              (s2.source == 2 && s2.tag == 9));
+  EXPECT_NE(s1.source, s2.source);
+}
+
+TEST(Matching, FifoNonOvertakingSameSourceSameTag) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  Comm c0 = w->comm_world(0);
+  for (std::int32_t i = 0; i < 20; ++i) {
+    c0.isend(&i, 1, dtype::Datatype::int32(), 1, 7);
+    stream_progress(w->null_stream(0));
+  }
+  Comm c1 = w->comm_world(1);
+  for (std::int32_t i = 0; i < 20; ++i) {
+    std::int32_t v = -1;
+    c1.recv(&v, 1, dtype::Datatype::int32(), 0, 7);
+    ASSERT_EQ(v, i);  // strict send order
+  }
+}
+
+TEST(Matching, TagSelectionAcrossInterleavedSends) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  std::int32_t v1 = 111, v2 = 222;
+  w->comm_world(0).isend(&v1, 1, dtype::Datatype::int32(), 1, 1);
+  w->comm_world(0).isend(&v2, 1, dtype::Datatype::int32(), 1, 2);
+  std::int32_t out = 0;
+  Comm c1 = w->comm_world(1);
+  // Receive tag 2 first even though tag 1 arrived earlier.
+  c1.recv(&out, 1, dtype::Datatype::int32(), 0, 2);
+  EXPECT_EQ(out, 222);
+  c1.recv(&out, 1, dtype::Datatype::int32(), 0, 1);
+  EXPECT_EQ(out, 111);
+}
+
+TEST(Matching, TruncationEager) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  std::vector<std::int32_t> big(64);
+  std::iota(big.begin(), big.end(), 0);
+  w->comm_world(0).isend(big.data(), big.size(), dtype::Datatype::int32(), 1,
+                         0);
+  std::vector<std::int32_t> small(8, -1);
+  Status st = w->comm_world(1).recv(small.data(), small.size(),
+                                    dtype::Datatype::int32(), 0, 0);
+  EXPECT_EQ(st.error, Err::truncate);
+  EXPECT_EQ(st.count_bytes, 8u * 4u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(small[i], i);
+}
+
+TEST(Matching, TruncationRendezvous) {
+  WorldConfig cfg{.nranks = 2};
+  cfg.shm_eager_max = 64;  // force LMT
+  auto w = World::create(cfg);
+  std::vector<std::int64_t> big(1024, 42);
+  Request s = w->comm_world(0).isend(big.data(), big.size(),
+                                     dtype::Datatype::int64(), 1, 0);
+  std::vector<std::int64_t> small(10, -1);
+  Status st = w->comm_world(1).recv(small.data(), small.size(),
+                                    dtype::Datatype::int64(), 0, 0);
+  EXPECT_EQ(st.error, Err::truncate);
+  EXPECT_EQ(st.count_bytes, 80u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(small[i], 42);
+  while (!s.is_complete()) stream_progress(w->null_stream(0));
+}
+
+TEST(Matching, UnexpectedRendezvousMatchedLater) {
+  WorldConfig cfg{.nranks = 2};
+  cfg.shm_eager_max = 64;
+  auto w = World::create(cfg);
+  std::vector<double> data(512, 3.5);
+  Request s = w->comm_world(0).isend(data.data(), data.size(),
+                                     dtype::Datatype::float64(), 1, 4);
+  // Let the RTS land in the unexpected queue before any recv is posted.
+  stream_progress(w->null_stream(1));
+  std::vector<double> out(512, 0.0);
+  Status st = w->comm_world(1).recv(out.data(), out.size(),
+                                    dtype::Datatype::float64(), 0, 4);
+  EXPECT_EQ(st.error, Err::success);
+  EXPECT_EQ(out, data);
+  while (!s.is_complete()) stream_progress(w->null_stream(0));
+}
+
+TEST(Matching, IprobeSeesEnvelopeWithoutConsuming) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  Comm c1 = w->comm_world(1);
+  EXPECT_FALSE(c1.iprobe(0, 3).has_value());
+
+  std::int32_t v = 5;
+  w->comm_world(0).isend(&v, 1, dtype::Datatype::int32(), 1, 3);
+  std::optional<Status> p;
+  for (int i = 0; i < 10 && !p; ++i) p = c1.iprobe(0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->source, 0);
+  EXPECT_EQ(p->tag, 3);
+  EXPECT_EQ(p->count_bytes, 4u);
+  // Probe again: still there (not consumed).
+  EXPECT_TRUE(c1.iprobe(any_source, any_tag).has_value());
+  std::int32_t out = 0;
+  c1.recv(&out, 1, dtype::Datatype::int32(), 0, 3);
+  EXPECT_EQ(out, 5);
+  EXPECT_FALSE(c1.iprobe(0, 3).has_value());
+}
+
+TEST(Matching, CancelUnmatchedReceive) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  std::int32_t buf = 0;
+  Request r = w->comm_world(1).irecv(&buf, 1, dtype::Datatype::int32(), 0, 8);
+  EXPECT_FALSE(r.is_complete());
+  r.cancel();
+  ASSERT_TRUE(r.is_complete());
+  EXPECT_TRUE(r.status().cancelled);
+  EXPECT_EQ(r.status().error, Err::cancelled);
+  // A message sent afterwards is not swallowed by the cancelled recv.
+  std::int32_t v = 77;
+  w->comm_world(0).isend(&v, 1, dtype::Datatype::int32(), 1, 8);
+  std::int32_t out = 0;
+  w->comm_world(1).recv(&out, 1, dtype::Datatype::int32(), 0, 8);
+  EXPECT_EQ(out, 77);
+}
+
+TEST(Matching, CancelMatchedReceiveIsNoop) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  std::int32_t v = 9, out = 0;
+  w->comm_world(0).isend(&v, 1, dtype::Datatype::int32(), 1, 0);
+  Request r = w->comm_world(1).irecv(&out, 1, dtype::Datatype::int32(), 0, 0);
+  while (!r.is_complete()) stream_progress(w->null_stream(1));
+  r.cancel();  // already complete: no effect
+  EXPECT_FALSE(r.status().cancelled);
+  EXPECT_EQ(out, 9);
+}
+
+TEST(Matching, CommIsolationSameTag) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Comm a = w->comm_world(rank);
+    Comm b = a.dup();  // collective
+    if (rank == 0) {
+      std::int32_t va = 1, vb = 2;
+      a.isend(&va, 1, dtype::Datatype::int32(), 1, 0);
+      b.isend(&vb, 1, dtype::Datatype::int32(), 1, 0);
+    } else {
+      // Same source, same tag, different communicators: matching must go by
+      // context id.
+      std::int32_t vb = 0, va = 0;
+      b.recv(&vb, 1, dtype::Datatype::int32(), 0, 0);
+      a.recv(&va, 1, dtype::Datatype::int32(), 0, 0);
+      EXPECT_EQ(va, 1);
+      EXPECT_EQ(vb, 2);
+    }
+    w->finalize_rank(rank);
+  });
+}
+
+TEST(Matching, SplitCommunicators) {
+  auto w = World::create(WorldConfig{.nranks = 4});
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Comm c = w->comm_world(rank);
+    Comm sub = c.split(rank % 2, rank);  // evens and odds
+    ASSERT_TRUE(sub.valid());
+    EXPECT_EQ(sub.size(), 2);
+    EXPECT_EQ(sub.rank(), rank / 2);
+    // Ring within the sub-communicator.
+    std::int32_t token = rank;
+    std::int32_t got = -1;
+    const int peer = 1 - sub.rank();
+    Request s = sub.isend(&token, 1, dtype::Datatype::int32(), peer, 0);
+    sub.recv(&got, 1, dtype::Datatype::int32(), peer, 0);
+    EXPECT_EQ(got % 2, rank % 2);  // stayed within our color
+    while (!s.is_complete()) stream_progress(w->null_stream(rank));
+    w->finalize_rank(rank);
+  });
+}
+
+TEST(Matching, ZeroByteMessage) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  Request s = w->comm_world(0).isend(nullptr, 0, dtype::Datatype::int32(), 1,
+                                     1);
+  EXPECT_TRUE(s.is_complete());
+  Status st =
+      w->comm_world(1).recv(nullptr, 0, dtype::Datatype::int32(), 0, 1);
+  EXPECT_EQ(st.count_bytes, 0u);
+  EXPECT_EQ(st.error, Err::success);
+}

@@ -1,0 +1,230 @@
+// Point-to-point protocol tests across both transports and all message
+// modes (Fig. 1 of the paper): buffered/lightweight eager, eager with
+// injection wait, rendezvous, and pipeline; plus blocking wrappers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "test_util.hpp"
+
+using namespace mpx;
+
+namespace {
+
+std::vector<std::int32_t> iota_vec(std::size_t n, std::int32_t start = 0) {
+  std::vector<std::int32_t> v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+}  // namespace
+
+// --- shared-memory path ---
+
+TEST(P2pShm, EagerSendCompletesAtInitiation) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  auto v = iota_vec(16);
+  Comm c0 = w->comm_world(0);
+  Request s = c0.isend(v.data(), v.size(), dtype::Datatype::int32(), 1, 5);
+  // Buffered eager: complete before any receive is posted (Fig. 1a).
+  EXPECT_TRUE(s.is_complete());
+
+  std::vector<std::int32_t> r(16, -1);
+  Comm c1 = w->comm_world(1);
+  Status st = c1.recv(r.data(), r.size(), dtype::Datatype::int32(), 0, 5);
+  EXPECT_EQ(st.source, 0);
+  EXPECT_EQ(st.tag, 5);
+  EXPECT_EQ(st.count_bytes, 16u * 4u);
+  EXPECT_EQ(r, v);
+}
+
+TEST(P2pShm, RendezvousLargeMessage) {
+  WorldConfig cfg{.nranks = 2};
+  cfg.shm_eager_max = 1024;  // force LMT
+  auto w = World::create(cfg);
+  const std::size_t n = 100'000;
+  auto v = iota_vec(n);
+  std::vector<std::int32_t> r(n, -1);
+
+  Comm c0 = w->comm_world(0);
+  Comm c1 = w->comm_world(1);
+  Request sreq = c0.isend(v.data(), n, dtype::Datatype::int32(), 1, 1);
+  // Rendezvous: cannot complete before the receiver matches and acks.
+  EXPECT_FALSE(sreq.is_complete());
+
+  Request rreq = c1.irecv(r.data(), n, dtype::Datatype::int32(), 0, 1);
+  // Drive both sides' progress (single-threaded, deterministic).
+  while (!sreq.is_complete() || !rreq.is_complete()) {
+    stream_progress(w->null_stream(1));
+    stream_progress(w->null_stream(0));
+  }
+  EXPECT_EQ(r, v);
+  EXPECT_EQ(rreq.status().count_bytes, n * 4);
+}
+
+TEST(P2pShm, SenderBufferReusableAfterEagerComplete) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  auto v = iota_vec(8);
+  Comm c0 = w->comm_world(0);
+  Request s = c0.isend(v.data(), v.size(), dtype::Datatype::int32(), 1, 0);
+  ASSERT_TRUE(s.is_complete());
+  std::fill(v.begin(), v.end(), -7);  // clobber after completion: legal
+
+  std::vector<std::int32_t> r(8);
+  w->comm_world(1).recv(r.data(), 8, dtype::Datatype::int32(), 0, 0);
+  EXPECT_EQ(r, iota_vec(8));  // payload was captured at send time
+}
+
+// --- simulated NIC path ---
+
+TEST(P2pNet, LightweightSendIsBuffered) {
+  auto w = World::create(mpx_test::net_only_config(2));
+  std::int32_t x = 42;
+  Request s = w->comm_world(0).isend(&x, 1, dtype::Datatype::int32(), 1, 3);
+  EXPECT_TRUE(s.is_complete());  // <= net_lightweight_max
+
+  std::int32_t y = 0;
+  w->comm_world(1).recv(&y, 1, dtype::Datatype::int32(), 0, 3);
+  EXPECT_EQ(y, 42);
+}
+
+TEST(P2pNet, EagerWaitsForInjection) {
+  // Virtual clock: the injection CQ event exists at a known time and is only
+  // observed via progress — exactly the paper's Fig. 1(b) wait block.
+  auto w = World::create(mpx_test::virtual_net_config(2));
+  const std::size_t n = 4096;  // > lightweight, <= eager_max
+  auto v = iota_vec(n);
+  Request s = w->comm_world(0).isend(v.data(), n, dtype::Datatype::int32(),
+                                     1, 0);
+  EXPECT_FALSE(s.is_complete());
+
+  // Progress without advancing time: injection not done yet.
+  stream_progress(w->null_stream(0));
+  EXPECT_FALSE(s.is_complete());
+
+  // Advance beyond the injection deadline; completion still needs a poll.
+  w->virtual_clock()->advance(1.0);
+  EXPECT_FALSE(s.is_complete());
+  stream_progress(w->null_stream(0));
+  EXPECT_TRUE(s.is_complete());
+
+  std::vector<std::int32_t> r(n);
+  Request rr = w->comm_world(1).irecv(r.data(), n, dtype::Datatype::int32(),
+                                      0, 0);
+  stream_progress(w->null_stream(1));
+  ASSERT_TRUE(rr.is_complete());
+  EXPECT_EQ(r, v);
+}
+
+TEST(P2pNet, RendezvousHandshake) {
+  auto w = World::create(mpx_test::virtual_net_config(2));
+  const std::size_t n = 64 * 1024;  // > net_eager_max in elements of int32
+  auto v = iota_vec(n);
+  std::vector<std::int32_t> r(n, 0);
+
+  Request s = w->comm_world(0).isend(v.data(), n, dtype::Datatype::int32(),
+                                     1, 9);
+  Request rv = w->comm_world(1).irecv(r.data(), n, dtype::Datatype::int32(),
+                                      0, 9);
+  EXPECT_FALSE(s.is_complete());
+  EXPECT_FALSE(rv.is_complete());
+
+  // RTS -> CTS -> DATA each need time + polls on the right side.
+  for (int step = 0; step < 16 && !(s.is_complete() && rv.is_complete());
+       ++step) {
+    w->virtual_clock()->advance(0.01);
+    stream_progress(w->null_stream(1));  // receiver: RTS in, CTS out, data in
+    stream_progress(w->null_stream(0));  // sender: CTS in, data out
+  }
+  ASSERT_TRUE(s.is_complete());
+  ASSERT_TRUE(rv.is_complete());
+  EXPECT_EQ(r, v);
+}
+
+TEST(P2pNet, PipelineChunksLargeMessage) {
+  WorldConfig cfg = mpx_test::virtual_net_config(2);
+  cfg.net_pipeline_min = 64 * 1024;
+  cfg.net_pipeline_chunk = 16 * 1024;
+  cfg.net_pipeline_inflight = 2;
+  auto w = World::create(cfg);
+  const std::size_t n = 128 * 1024;  // 512 KiB > pipeline_min
+  auto v = iota_vec(n);
+  std::vector<std::int32_t> r(n, 0);
+
+  Request s = w->comm_world(0).isend(v.data(), n, dtype::Datatype::int32(),
+                                     1, 2);
+  Request rv = w->comm_world(1).irecv(r.data(), n, dtype::Datatype::int32(),
+                                      0, 2);
+  for (int step = 0; step < 200 && !(s.is_complete() && rv.is_complete());
+       ++step) {
+    w->virtual_clock()->advance(0.01);
+    stream_progress(w->null_stream(0));
+    stream_progress(w->null_stream(1));
+  }
+  ASSERT_TRUE(s.is_complete());
+  ASSERT_TRUE(rv.is_complete());
+  EXPECT_EQ(r, v);
+  // The pipeline actually chunked: more than 2 messages crossed the wire.
+  EXPECT_GT(w->net_stats().delivered, 8u);
+}
+
+// --- concurrent ranks-on-threads smoke ---
+
+TEST(P2pThreads, PingPongBothTransports) {
+  for (int rpn : {2, 1}) {  // 2 = shm path, 1 = net path
+    WorldConfig cfg{.nranks = 2};
+    cfg.ranks_per_node = rpn;
+    auto w = World::create(cfg);
+    mpx_test::run_ranks(*w, [&](int rank) {
+      Comm c = w->comm_world(rank);
+      std::int64_t token = 0;
+      for (int i = 0; i < 50; ++i) {
+        if (rank == 0) {
+          token = i;
+          c.send(&token, 1, dtype::Datatype::int64(), 1, 11);
+          c.recv(&token, 1, dtype::Datatype::int64(), 1, 12);
+          ASSERT_EQ(token, i * 2);
+        } else {
+          c.recv(&token, 1, dtype::Datatype::int64(), 0, 11);
+          token *= 2;
+          c.send(&token, 1, dtype::Datatype::int64(), 0, 12);
+        }
+      }
+      w->finalize_rank(rank);
+    });
+  }
+}
+
+TEST(P2pDatatype, NonContiguousVectorRoundTrip) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  // Send every other int of a 2N array.
+  const int n = 1000;
+  std::vector<std::int32_t> src(2 * n);
+  std::iota(src.begin(), src.end(), 0);
+  auto strided = dtype::Datatype::vector(n, 1, 2, dtype::Datatype::int32());
+
+  Request s = w->comm_world(0).isend(src.data(), 1, strided, 1, 0);
+  std::vector<std::int32_t> dst(n, -1);
+  w->comm_world(1).recv(dst.data(), n, dtype::Datatype::int32(), 0, 0);
+  ASSERT_TRUE(s.is_complete());
+  for (int i = 0; i < n; ++i) EXPECT_EQ(dst[i], 2 * i) << i;
+}
+
+TEST(P2pDatatype, NonContiguousReceiveSide) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  const int n = 500;
+  std::vector<std::int32_t> src(n);
+  std::iota(src.begin(), src.end(), 100);
+  std::vector<std::int32_t> dst(2 * n, -1);
+  auto strided = dtype::Datatype::vector(n, 1, 2, dtype::Datatype::int32());
+
+  Request s = w->comm_world(0).isend(src.data(), n,
+                                     dtype::Datatype::int32(), 1, 0);
+  w->comm_world(1).recv(dst.data(), 1, strided, 0, 0);
+  ASSERT_TRUE(s.is_complete());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(dst[2 * i], 100 + i);
+    EXPECT_EQ(dst[2 * i + 1], -1);
+  }
+}

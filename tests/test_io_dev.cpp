@@ -1,0 +1,260 @@
+// Tests for the two §2.6 "other async subsystems" built on the extension
+// APIs: simulated storage I/O (mpx::io) and device copies (mpx::dev), plus
+// the GPU-pipeline pattern combining them with messaging in one task graph.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpx/dev/device.hpp"
+#include "mpx/io/file.hpp"
+#include "mpx/task/graph.hpp"
+#include "test_util.hpp"
+
+using namespace mpx;
+
+namespace {
+
+WorldConfig vclock_cfg(int n = 1) {
+  WorldConfig cfg;
+  cfg.nranks = n;
+  cfg.use_virtual_clock = true;
+  return cfg;
+}
+
+std::vector<std::byte> bytes_iota(std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>(i & 0xFF);
+  return v;
+}
+
+}  // namespace
+
+TEST(IoFile, WriteCompletionIsTimeAndProgressGated) {
+  auto w = World::create(vclock_cfg());
+  auto disk = std::make_shared<io::SimDisk>(*w);
+  Stream s = w->null_stream(0);
+  io::File f = io::File::open(disk, "ckpt", s);
+
+  const auto data = bytes_iota(4096);
+  Request r = f.iwrite_at(0, data);
+  EXPECT_FALSE(r.is_complete());
+  stream_progress(s);                       // too early for the device
+  EXPECT_FALSE(r.is_complete());
+  EXPECT_EQ(disk->writes_completed(), 0u);  // not applied yet
+
+  w->virtual_clock()->advance(1.0);
+  EXPECT_FALSE(r.is_complete());  // completion exists; needs observation
+  stream_progress(s);
+  ASSERT_TRUE(r.is_complete());
+  EXPECT_EQ(r.status().count_bytes, 4096u);
+  EXPECT_EQ(disk->raw_read("ckpt", 0, 4096), data);
+}
+
+TEST(IoFile, WriteBufferReusableImmediately) {
+  auto w = World::create(vclock_cfg());
+  auto disk = std::make_shared<io::SimDisk>(*w);
+  Stream s = w->null_stream(0);
+  io::File f = io::File::open(disk, "obj", s);
+
+  auto data = bytes_iota(128);
+  Request r = f.iwrite_at(0, data);
+  std::fill(data.begin(), data.end(), std::byte{0xFF});  // clobber: legal
+  w->virtual_clock()->advance(1.0);
+  r.wait();
+  EXPECT_EQ(f.size(), 128u);
+  EXPECT_EQ(disk->raw_read("obj", 0, 128), bytes_iota(128));  // captured copy
+}
+
+TEST(IoFile, ReadRoundTripAndShortRead) {
+  auto w = World::create(vclock_cfg());
+  auto disk = std::make_shared<io::SimDisk>(*w);
+  Stream s = w->null_stream(0);
+  io::File f = io::File::open(disk, "data", s);
+  disk->raw_write("data", 0, bytes_iota(100));
+
+  std::vector<std::byte> out(64, std::byte{0});
+  Request r = f.iread_at(10, out);
+  w->virtual_clock()->advance(1.0);
+  EXPECT_EQ(r.wait().count_bytes, 64u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(out[i], static_cast<std::byte>((i + 10) & 0xFF));
+  }
+
+  // Reading past EOF yields a short count.
+  std::vector<std::byte> tail(64, std::byte{0});
+  Request r2 = f.iread_at(90, tail);
+  w->virtual_clock()->advance(1.0);
+  EXPECT_EQ(r2.wait().count_bytes, 10u);
+}
+
+TEST(IoFile, OverlappedOperationsOnOneStream) {
+  // Several writes in flight at once; all collate under one progress loop.
+  auto w = World::create(WorldConfig{.nranks = 1});  // steady clock
+  auto disk = std::make_shared<io::SimDisk>(*w);
+  Stream s = w->null_stream(0);
+  io::File f = io::File::open(disk, "multi", s);
+
+  std::vector<Request> reqs;
+  std::vector<std::vector<std::byte>> bufs;
+  for (int i = 0; i < 8; ++i) {
+    bufs.push_back(std::vector<std::byte>(100, static_cast<std::byte>(i)));
+    reqs.push_back(f.iwrite_at(static_cast<std::uint64_t>(i) * 100, bufs.back()));
+  }
+  wait_all(reqs);
+  EXPECT_EQ(disk->writes_completed(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const auto got = disk->raw_read("multi", static_cast<std::uint64_t>(i) * 100, 100);
+    for (auto b : got) ASSERT_EQ(b, static_cast<std::byte>(i));
+  }
+  w->finalize_rank(0);
+}
+
+TEST(IoFile, CollectiveWriteReadAll) {
+  auto w = World::create(WorldConfig{.nranks = 4});
+  auto disk = std::make_shared<io::SimDisk>(*w);
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Comm c = w->comm_world(rank);
+    io::File f = io::File::open(disk, "shared", c.stream());
+    std::vector<std::byte> block(64, static_cast<std::byte>(rank + 1));
+    f.write_at_all(c, static_cast<std::uint64_t>(rank) * 64, block);
+
+    // Every rank reads the whole file; all writers are visible.
+    std::vector<std::byte> all(4 * 64, std::byte{0});
+    f.read_at_all(c, 0, all);
+    for (int r = 0; r < 4; ++r) {
+      for (int i = 0; i < 64; ++i) {
+        ASSERT_EQ(all[static_cast<std::size_t>(r * 64 + i)],
+                  static_cast<std::byte>(r + 1));
+      }
+    }
+    w->finalize_rank(rank);
+  });
+}
+
+TEST(Device, CopyVisibilityGatedByCompletion) {
+  auto w = World::create(vclock_cfg());
+  dev::SimDevice gpu(*w);
+  Stream s = w->null_stream(0);
+  dev::DeviceBuffer d = gpu.alloc(256);
+
+  const auto src = bytes_iota(256);
+  Request up = gpu.imemcpy_h2d(d, 0, src, s);
+  std::vector<std::byte> back(256, std::byte{0xAA});
+  Request down = gpu.imemcpy_d2h(back, d, 0, s);
+
+  stream_progress(s);
+  EXPECT_FALSE(up.is_complete());
+  EXPECT_EQ(back[0], std::byte{0xAA});  // nothing moved yet
+
+  w->virtual_clock()->advance(1.0);
+  while (!up.is_complete() || !down.is_complete()) stream_progress(s);
+  EXPECT_EQ(back, src);  // DMA queue serialized h2d before d2h
+  EXPECT_EQ(gpu.copies_completed(), 2u);
+}
+
+TEST(Device, DmaQueueSerializesInIssueOrder) {
+  auto w = World::create(vclock_cfg());
+  dev::SimDevice gpu(*w);
+  Stream s = w->null_stream(0);
+  dev::DeviceBuffer a = gpu.alloc(64);
+  dev::DeviceBuffer b = gpu.alloc(64);
+
+  const auto src = bytes_iota(64);
+  std::vector<std::byte> out(64, std::byte{0});
+  // h2d(a) -> d2d(a->b) -> d2h(b): correctness requires strict ordering.
+  Request r1 = gpu.imemcpy_h2d(a, 0, src, s);
+  Request r2 = gpu.imemcpy_d2d(b, 0, a, 0, 64, s);
+  Request r3 = gpu.imemcpy_d2h(out, b, 0, s);
+  w->virtual_clock()->advance(1.0);
+  Request reqs[] = {r1, r2, r3};
+  wait_all(reqs);
+  EXPECT_EQ(out, src);
+}
+
+TEST(Device, RangeChecks) {
+  auto w = World::create(vclock_cfg());
+  dev::SimDevice gpu(*w);
+  Stream s = w->null_stream(0);
+  dev::DeviceBuffer d = gpu.alloc(16);
+  std::vector<std::byte> big(32);
+  EXPECT_THROW(gpu.imemcpy_h2d(d, 0, big, s), UsageError);
+  EXPECT_THROW(gpu.imemcpy_d2h(big, d, 0, s), UsageError);
+  EXPECT_THROW(gpu.imemcpy_d2d(d, 8, d, 0, 16, s), UsageError);
+}
+
+TEST(Pipeline, GpuToWireToDiskGraph) {
+  // The paper's Fig. 6 scheme across THREE async subsystems: rank 0 moves a
+  // buffer device->host then sends it; rank 1 receives it and checkpoints
+  // it to disk. One task graph per rank; one progress loop drives device
+  // copies, messaging, and storage together.
+  WorldConfig cfg;
+  cfg.nranks = 2;
+  auto w = World::create(cfg);
+  auto disk = std::make_shared<io::SimDisk>(*w);
+  dev::SimDevice gpu(*w);
+
+  const auto payload = bytes_iota(8192);
+  // Seed device memory (blocking-ish: drive progress until the seed lands).
+  dev::DeviceBuffer dbuf = gpu.alloc(8192);
+  {
+    Request seed = gpu.imemcpy_h2d(dbuf, 0, payload, w->null_stream(0));
+    seed.wait();
+  }
+
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Comm c = w->comm_world(rank);
+    const Stream s = c.stream();
+    task::TaskGraph g;
+    if (rank == 0) {
+      std::vector<std::byte> host(8192);
+      Request d2h, send;
+      auto n0 = g.add([&, started = false]() mutable {
+        if (!started) {
+          d2h = gpu.imemcpy_d2h(host, dbuf, 0, s);
+          started = true;
+        }
+        return d2h.is_complete() ? AsyncResult::done : AsyncResult::pending;
+      });
+      g.add(
+          [&, started = false]() mutable {
+            if (!started) {
+              send = c.isend(host.data(), host.size(),
+                             dtype::Datatype::byte(), 1, 0);
+              started = true;
+            }
+            return send.is_complete() ? AsyncResult::done
+                                      : AsyncResult::pending;
+          },
+          {n0});
+      g.launch(s);
+      g.wait(s);
+    } else {
+      std::vector<std::byte> host(8192);
+      io::File f = io::File::open(disk, "gpu_ckpt", s);
+      Request recv, write;
+      auto n0 = g.add([&, started = false]() mutable {
+        if (!started) {
+          recv = c.irecv(host.data(), host.size(), dtype::Datatype::byte(),
+                         0, 0);
+          started = true;
+        }
+        return recv.is_complete() ? AsyncResult::done : AsyncResult::pending;
+      });
+      g.add(
+          [&, started = false]() mutable {
+            if (!started) {
+              write = f.iwrite_at(0, host);
+              started = true;
+            }
+            return write.is_complete() ? AsyncResult::done
+                                       : AsyncResult::pending;
+          },
+          {n0});
+      g.launch(s);
+      g.wait(s);
+    }
+    w->finalize_rank(rank);
+  });
+  EXPECT_EQ(disk->raw_read("gpu_ckpt", 0, 8192), payload);
+}

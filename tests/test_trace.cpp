@@ -1,0 +1,141 @@
+// Protocol tracer tests: event sequences for each protocol, ring-buffer
+// bounds, and the disabled-by-default contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "test_util.hpp"
+
+using namespace mpx;
+using trace::Event;
+using trace::Record;
+
+namespace {
+
+std::vector<Event> events_of(const std::vector<Record>& recs) {
+  std::vector<Event> out;
+  out.reserve(recs.size());
+  for (const Record& r : recs) out.push_back(r.ev);
+  return out;
+}
+
+std::ptrdiff_t index_of(const std::vector<Event>& evs, Event e) {
+  const auto it = std::find(evs.begin(), evs.end(), e);
+  return it == evs.end() ? -1 : it - evs.begin();
+}
+
+}  // namespace
+
+TEST(Trace, DisabledByDefault) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  EXPECT_FALSE(w->tracer().enabled());
+  std::int32_t v = 1, out = 0;
+  w->comm_world(0).isend(&v, 1, dtype::Datatype::int32(), 1, 0);
+  w->comm_world(1).recv(&out, 1, dtype::Datatype::int32(), 0, 0);
+  EXPECT_EQ(w->tracer().emitted(), 0u);
+  EXPECT_TRUE(w->tracer().snapshot().empty());
+}
+
+TEST(Trace, EagerSequence) {
+  WorldConfig cfg{.nranks = 2};
+  cfg.trace_capacity = 256;
+  auto w = World::create(cfg);
+  std::int32_t v = 1, out = 0;
+  w->comm_world(0).isend(&v, 1, dtype::Datatype::int32(), 1, 5);
+  w->comm_world(1).recv(&out, 1, dtype::Datatype::int32(), 0, 5);
+
+  const auto recs = w->tracer().snapshot();
+  const auto evs = events_of(recs);
+  const auto post_send = index_of(evs, Event::post_send);
+  const auto post_recv = index_of(evs, Event::post_recv);
+  const auto match = index_of(evs, Event::match);
+  ASSERT_GE(post_send, 0);
+  ASSERT_GE(post_recv, 0);
+  ASSERT_GE(match, 0);
+  EXPECT_LT(post_send, match);
+  EXPECT_LT(post_recv, match);
+  // Timestamps are monotone within the ring.
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i].t, recs[i - 1].t);
+  }
+  // The match record carries the envelope.
+  EXPECT_EQ(recs[static_cast<std::size_t>(match)].tag, 5);
+  EXPECT_EQ(recs[static_cast<std::size_t>(match)].bytes, 4u);
+}
+
+TEST(Trace, RendezvousSequenceOverNic) {
+  WorldConfig cfg = mpx_test::virtual_net_config(2);
+  cfg.trace_capacity = 1024;
+  auto w = World::create(cfg);
+  std::vector<std::int64_t> big(64 * 1024, 1), out(64 * 1024, 0);
+  Request s = w->comm_world(0).isend(big.data(), big.size(),
+                                     dtype::Datatype::int64(), 1, 0);
+  Request r = w->comm_world(1).irecv(out.data(), out.size(),
+                                     dtype::Datatype::int64(), 0, 0);
+  while (!s.is_complete() || !r.is_complete()) {
+    w->virtual_clock()->advance(0.01);
+    stream_progress(w->null_stream(1));
+    stream_progress(w->null_stream(0));
+  }
+  const auto evs = events_of(w->tracer().snapshot());
+  // Full rendezvous choreography, in order: RTS at receiver, CTS at sender,
+  // DATA at receiver.
+  const auto rts = index_of(evs, Event::rts);
+  const auto cts = index_of(evs, Event::cts);
+  const auto data = index_of(evs, Event::data);
+  ASSERT_GE(rts, 0);
+  ASSERT_GE(cts, 0);
+  ASSERT_GE(data, 0);
+  EXPECT_LT(rts, cts);
+  EXPECT_LT(cts, data);
+  EXPECT_GE(std::count(evs.begin(), evs.end(), Event::complete), 2);
+}
+
+TEST(Trace, UnexpectedAndLmtAck) {
+  WorldConfig cfg{.nranks = 2};
+  cfg.shm_eager_max = 64;  // LMT path
+  cfg.trace_capacity = 512;
+  auto w = World::create(cfg);
+  std::vector<double> big(1024, 2.0), out(1024, 0.0);
+  Request s = w->comm_world(0).isend(big.data(), big.size(),
+                                     dtype::Datatype::float64(), 1, 0);
+  stream_progress(w->null_stream(1));  // RTS lands unexpected
+  w->comm_world(1).recv(out.data(), out.size(), dtype::Datatype::float64(),
+                        0, 0);
+  while (!s.is_complete()) stream_progress(w->null_stream(0));
+
+  const auto evs = events_of(w->tracer().snapshot());
+  EXPECT_GE(index_of(evs, Event::unexpected), 0);
+  EXPECT_GE(index_of(evs, Event::ack), 0);  // LMT completion notification
+}
+
+TEST(Trace, RingBounded) {
+  WorldConfig cfg{.nranks = 2};
+  cfg.trace_capacity = 16;  // tiny ring
+  auto w = World::create(cfg);
+  for (int i = 0; i < 100; ++i) {
+    std::int32_t v = i, out = 0;
+    w->comm_world(0).isend(&v, 1, dtype::Datatype::int32(), 1, 0);
+    w->comm_world(1).recv(&out, 1, dtype::Datatype::int32(), 0, 0);
+  }
+  EXPECT_GT(w->tracer().emitted(), 16u);
+  const auto recs = w->tracer().snapshot();
+  EXPECT_EQ(recs.size(), 16u);  // only the newest survive
+}
+
+TEST(Trace, DumpIsReadable) {
+  WorldConfig cfg{.nranks = 2};
+  cfg.trace_capacity = 64;
+  auto w = World::create(cfg);
+  std::int32_t v = 9, out = 0;
+  w->comm_world(0).isend(&v, 1, dtype::Datatype::int32(), 1, 3);
+  w->comm_world(1).recv(&out, 1, dtype::Datatype::int32(), 0, 3);
+  std::ostringstream os;
+  w->tracer().dump(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("post_send"), std::string::npos);
+  EXPECT_NE(text.find("match"), std::string::npos);
+  EXPECT_NE(text.find("tag=3"), std::string::npos);
+}

@@ -1,0 +1,170 @@
+// Transport-layer unit tests: shared-memory cell queues (parking, FIFO,
+// idle) and the simulated NIC (cost model, time-gated delivery, per-channel
+// FIFO, injection completions).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpx/base/clock.hpp"
+#include "mpx/net/nic.hpp"
+#include "mpx/shm/shm_transport.hpp"
+
+using namespace mpx;
+using transport::Msg;
+using transport::MsgKind;
+
+namespace {
+
+/// Records everything a poll delivers.
+struct RecordingSink final : transport::TransportSink {
+  std::vector<Msg> msgs;
+  std::vector<std::uint64_t> completions;
+  void on_msg(Msg&& m) override { msgs.push_back(std::move(m)); }
+  void on_send_complete(std::uint64_t c) override { completions.push_back(c); }
+};
+
+Msg make_msg(int src, int dst, int tag, std::size_t payload = 0,
+             int dst_vci = 0, int src_vci = 0) {
+  Msg m;
+  m.h.kind = MsgKind::eager;
+  m.h.src_rank = src;
+  m.h.dst_rank = dst;
+  m.h.src_vci = src_vci;
+  m.h.dst_vci = dst_vci;
+  m.h.tag = tag;
+  m.h.total_bytes = payload;
+  if (payload != 0) m.payload = base::Buffer(payload);
+  return m;
+}
+
+}  // namespace
+
+TEST(ShmTransport, DeliversFifoPerChannel) {
+  shm::ShmTransport t(2, 1, 16);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(t.send(make_msg(0, 1, i), 0));
+  }
+  EXPECT_FALSE(t.idle(1, 0));
+  RecordingSink sink;
+  int made = 0;
+  t.poll(1, 0, sink, &made);
+  EXPECT_EQ(made, 1);
+  ASSERT_EQ(sink.msgs.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(sink.msgs[i].h.tag, i);
+  EXPECT_TRUE(t.idle(1, 0));
+}
+
+TEST(ShmTransport, RingFullParksAndSenderProgressFlushes) {
+  shm::ShmTransport t(2, 1, 4);  // tiny ring
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(t.send(make_msg(0, 1, i), 0));
+  // Fifth send parks; cookie must be reported once it drains.
+  EXPECT_FALSE(t.send(make_msg(0, 1, 4), /*cookie=*/77));
+  EXPECT_EQ(t.stats().ring_full_events, 1u);
+  // Sixth parks behind the fifth even though... the ring is still full.
+  EXPECT_FALSE(t.send(make_msg(0, 1, 5), 78));
+
+  // Sender-side progress alone cannot flush while the ring is full.
+  RecordingSink s0;
+  t.poll(0, 0, s0, nullptr);
+  EXPECT_TRUE(s0.completions.empty());
+
+  // Receiver drains the ring; then sender progress pushes the parked msgs.
+  RecordingSink s1;
+  t.poll(1, 0, s1, nullptr);
+  EXPECT_EQ(s1.msgs.size(), 4u);
+  t.poll(0, 0, s0, nullptr);
+  EXPECT_EQ(s0.completions, (std::vector<std::uint64_t>{77, 78}));
+  t.poll(1, 0, s1, nullptr);
+  ASSERT_EQ(s1.msgs.size(), 6u);
+  EXPECT_EQ(s1.msgs[4].h.tag, 4);  // parked sends kept FIFO order
+  EXPECT_EQ(s1.msgs[5].h.tag, 5);
+}
+
+TEST(ShmTransport, VciChannelsAreIndependent) {
+  shm::ShmTransport t(2, 2, 8);
+  EXPECT_TRUE(t.send(make_msg(0, 1, 10, 0, /*dst_vci=*/1), 0));
+  RecordingSink sink;
+  t.poll(1, 0, sink, nullptr);  // wrong vci
+  EXPECT_TRUE(sink.msgs.empty());
+  EXPECT_TRUE(t.idle(1, 0));
+  EXPECT_FALSE(t.idle(1, 1));
+  t.poll(1, 1, sink, nullptr);
+  ASSERT_EQ(sink.msgs.size(), 1u);
+  EXPECT_EQ(sink.msgs[0].h.tag, 10);
+}
+
+TEST(CostModel, DeliveryAndInjectionTimes) {
+  net::CostModel m;
+  m.alpha = 1e-6;
+  m.beta = 1e-9;  // 1 GB/s
+  m.gamma = 1e-7;
+  m.inj_beta = 5e-10;
+  // Empty channel: start at send time.
+  EXPECT_DOUBLE_EQ(m.deliver_time(0.0, 0.0, 1000), 1e-6 + 1e-6);
+  // Busy channel: serialized behind the previous message.
+  EXPECT_DOUBLE_EQ(m.deliver_time(0.0, 5e-6, 1000), 5e-6 + 2e-6);
+  EXPECT_DOUBLE_EQ(m.inject_done_time(1.0, 2000), 1.0 + 1e-7 + 1e-6);
+}
+
+TEST(Nic, DeliveryIsTimeGated) {
+  base::VirtualClock clock;
+  net::CostModel m;  // alpha = 2 us default
+  net::Nic nic(2, 1, m, clock);
+  nic.inject(make_msg(0, 1, 1, 64), 0);
+
+  RecordingSink sink;
+  int made = 0;
+  nic.poll(1, 0, sink, &made);  // too early
+  EXPECT_TRUE(sink.msgs.empty());
+  EXPECT_EQ(made, 0);
+  EXPECT_FALSE(nic.idle(1, 0));  // in flight, just not due
+
+  clock.advance(1.0);
+  nic.poll(1, 0, sink, &made);
+  ASSERT_EQ(sink.msgs.size(), 1u);
+  EXPECT_EQ(made, 1);
+  EXPECT_TRUE(nic.idle(1, 0));
+}
+
+TEST(Nic, ChannelFifoEvenWhenSizesDiffer) {
+  base::VirtualClock clock;
+  net::CostModel m;
+  net::Nic nic(2, 1, m, clock);
+  // Big message first, then a tiny one: the tiny one would "arrive" earlier
+  // by raw cost, but per-channel FIFO must serialize them.
+  nic.inject(make_msg(0, 1, 0, 1 << 20), 0);
+  nic.inject(make_msg(0, 1, 1, 8), 0);
+  clock.advance(10.0);
+  RecordingSink sink;
+  nic.poll(1, 0, sink, nullptr);
+  ASSERT_EQ(sink.msgs.size(), 2u);
+  EXPECT_EQ(sink.msgs[0].h.tag, 0);
+  EXPECT_EQ(sink.msgs[1].h.tag, 1);
+}
+
+TEST(Nic, SenderCompletionQueue) {
+  base::VirtualClock clock;
+  net::CostModel m;
+  net::Nic nic(2, 1, m, clock);
+  nic.inject(make_msg(0, 1, 0, 4096), /*cookie=*/123);
+  RecordingSink sink;
+  nic.poll(0, 0, sink, nullptr);  // injection not done at t=0
+  EXPECT_TRUE(sink.completions.empty());
+  clock.advance(1.0);
+  nic.poll(0, 0, sink, nullptr);
+  EXPECT_EQ(sink.completions, (std::vector<std::uint64_t>{123}));
+  EXPECT_EQ(nic.stats().cq_events, 1u);
+}
+
+TEST(Nic, CrossChannelsDoNotBlockEachOther) {
+  base::VirtualClock clock;
+  net::CostModel m;
+  net::Nic nic(3, 1, m, clock);
+  nic.inject(make_msg(0, 2, 0, 1 << 20), 0);  // slow: 0 -> 2
+  nic.inject(make_msg(1, 2, 1, 8), 0);        // fast: 1 -> 2
+  clock.advance(3e-6);  // past alpha + small-beta, before the 1 MiB finishes
+  RecordingSink sink;
+  nic.poll(2, 0, sink, nullptr);
+  ASSERT_EQ(sink.msgs.size(), 1u);
+  EXPECT_EQ(sink.msgs[0].h.tag, 1);  // the independent channel delivered
+}

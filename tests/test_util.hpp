@@ -1,0 +1,51 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mpx/base/thread.hpp"
+#include "mpx/mpx.hpp"
+
+namespace mpx_test {
+
+/// Run `body(rank)` on one thread per rank of `world` and join them all.
+/// Exceptions propagate: the first rank's exception is rethrown.
+inline void run_ranks(mpx::World& world,
+                      const std::function<void(int)>& body) {
+  const int n = world.size();
+  std::vector<std::exception_ptr> errs(static_cast<std::size_t>(n));
+  {
+    std::vector<mpx::base::ScopedThread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      threads.emplace_back([&, r] {
+        try {
+          body(r);
+        } catch (...) {
+          errs[static_cast<std::size_t>(r)] = std::current_exception();
+        }
+      });
+    }
+  }
+  for (auto& e : errs) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+/// A world whose ranks all talk over the simulated NIC (one rank per node).
+inline mpx::WorldConfig net_only_config(int nranks) {
+  mpx::WorldConfig cfg;
+  cfg.nranks = nranks;
+  cfg.ranks_per_node = 1;
+  return cfg;
+}
+
+/// A world on a manually-advanced virtual clock (deterministic protocols).
+inline mpx::WorldConfig virtual_net_config(int nranks) {
+  mpx::WorldConfig cfg = net_only_config(nranks);
+  cfg.use_virtual_clock = true;
+  return cfg;
+}
+
+}  // namespace mpx_test
