@@ -16,6 +16,27 @@
 
 namespace mpx_bench {
 
+/// Deterministic, decorrelated per-thread seeding. Benchmarks must be
+/// reproducible run-to-run (no std::random_device), but adjacent raw seeds
+/// (thread 0, 1, 2, ...) leave std::mt19937 streams briefly correlated;
+/// splitmix64 scrambling gives well-separated streams from structured
+/// (thread, iteration) coordinates while staying a pure function of them.
+inline std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b = 0,
+                              std::uint64_t c = 0) {
+  std::uint64_t z = 0x9e3779b97f4a7c15ull + a * 0xbf58476d1ce4e5b9ull +
+                    b * 0x94d049bb133111ebull + c * 0xd6e8feb86659fd93ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// mt19937 for (thread, iteration) of a named experiment.
+inline std::mt19937 thread_rng(std::uint64_t experiment, int thread,
+                               std::uint64_t iteration = 0) {
+  return std::mt19937{static_cast<std::mt19937::result_type>(
+      mix_seed(experiment, static_cast<std::uint64_t>(thread), iteration))};
+}
+
 /// Attach a latency summary to the benchmark's counter set.
 inline void report_latency(benchmark::State& state,
                            const mpx::base::LatencyRecorder& rec) {

@@ -22,18 +22,25 @@ void BM_ThreadContentionSharedStream(benchmark::State& state) {
   mpx::base::LatencyRecorder rec;
   std::uint64_t contended0 = 0, acquires0 = 0;
 
+  // Experiment tag for deterministic seeding: fig09 = 9. Each (thread,
+  // iteration) pair gets its own decorrelated-but-reproducible stream, so
+  // repeated iterations don't replay identical deadline patterns yet two
+  // runs of the binary measure exactly the same workload.
+  std::uint64_t iteration = 0;
   for (auto _ : state) {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(n_threads));
     for (int t = 0; t < n_threads; ++t) {
-      threads.emplace_back([&, t] {
+      threads.emplace_back([&, t, iteration] {
         const mpx::Stream stream = world->null_stream(0);
-        std::mt19937 rng(1000u + static_cast<unsigned>(t));
+        std::mt19937 rng = mpx_bench::thread_rng(/*experiment=*/9, t,
+                                                 iteration);
         mpx_bench::run_dummy_batch(*world, stream, kTasksPerThread, 2e-3,
                                    rec, rng);
       });
     }
     for (auto& th : threads) th.join();
+    ++iteration;
   }
   const auto ls = world->vci_lock_stats(0, 0);
   acquires0 = ls.acquires;

@@ -26,17 +26,23 @@ void BM_MultiStreamThreads(benchmark::State& state) {
     streams.push_back(world->stream_create(0));
   }
 
+  // Deterministic decorrelated per-(thread, iteration) seeds; experiment
+  // tag fig11 = 11 (distinct from fig09's, as with the original seed
+  // bases: the figures contrast lock behaviour, not identical workloads).
+  std::uint64_t iteration = 0;
   for (auto _ : state) {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(n_threads));
     for (int t = 0; t < n_threads; ++t) {
-      threads.emplace_back([&, t] {
-        std::mt19937 rng(2000u + static_cast<unsigned>(t));
+      threads.emplace_back([&, t, iteration] {
+        std::mt19937 rng = mpx_bench::thread_rng(/*experiment=*/11, t,
+                                                 iteration);
         mpx_bench::run_dummy_batch(*world, streams[static_cast<std::size_t>(t)],
                                    kTasksPerThread, 2e-3, rec, rng);
       });
     }
     for (auto& th : threads) th.join();
+    ++iteration;
   }
   std::uint64_t contended = 0, acquires = 0;
   for (int t = 0; t < n_threads; ++t) {

@@ -3,11 +3,27 @@
 // A mutex that counts acquisitions and contended acquisitions. VCI locks use
 // this so benchmarks can report *lock-level* contention (Fig. 9 vs Fig. 11 of
 // the paper) independent of wall-clock noise on oversubscribed machines.
+//
+// Threading contract (also expressed via the MPX_* clang thread-safety
+// annotations below):
+//  - lock()/try_lock()/unlock() follow the standard Lockable protocol and
+//    are re-entrant: the wrapped mutex is recursive, so poll callbacks that
+//    re-enter the owning VCI's critical section (MPICH's owner-tracked VCI
+//    locks) are safe.
+//  - stats()/reset_stats() are safe from ANY thread at ANY time, including
+//    re-entrantly from inside poll callbacks: they touch only the relaxed
+//    atomic counters, never the mutex.
+//  - A name + LockRank may be attached (constructor or set_rank() before
+//    first concurrent use) to enroll the lock in the lock-rank deadlock
+//    validator (base/lock_rank.hpp).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+
+#include "mpx/base/lock_rank.hpp"
+#include "mpx/base/thread_safety.hpp"
 
 namespace mpx::base {
 
@@ -22,44 +38,76 @@ struct MutexStats {
 /// callbacks re-enter the owning VCI's critical section (MPICH's VCI locks
 /// are owner-tracked for the same reason). Counter overhead is a relaxed
 /// increment per acquisition.
-class InstrumentedMutex {
+class MPX_CAPABILITY("mutex") InstrumentedMutex {
  public:
   InstrumentedMutex() = default;
+  /// Ranked constructor: enrolls the lock in the lock-rank validator.
+  /// `name` must have static storage duration.
+  InstrumentedMutex(const char* name, LockRank rank)
+      : name_(name), rank_(rank) {}
   InstrumentedMutex(const InstrumentedMutex&) = delete;
   InstrumentedMutex& operator=(const InstrumentedMutex&) = delete;
 
-  void lock() {
+  /// Attach a name/rank after construction. Must happen before the lock is
+  /// visible to other threads (not synchronized).
+  void set_rank(const char* name, LockRank rank) {
+    name_ = name;
+    rank_ = rank;
+  }
+
+  void lock() MPX_ACQUIRE() {
+    // Validate ordering BEFORE blocking so a would-be deadlock reports
+    // instead of hanging.
+    if (rank_ != LockRank::none) lock_rank::on_acquire(this, name_, rank_);
     if (!mu_.try_lock()) {
-      contended_.fetch_add(1, std::memory_order_relaxed);
       mu_.lock();
+      // Count only after the blocking acquire succeeds: incrementing before
+      // would overcount on a path that throws or is interrupted while
+      // waiting.
+      contended_.fetch_add(1, std::memory_order_relaxed);
     }
     acquires_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  bool try_lock() {
+  bool try_lock() MPX_TRY_ACQUIRE(true) {
     if (mu_.try_lock()) {
+      // A successful try-lock cannot deadlock, so no order validation; it
+      // still joins the held stack for later blocking acquires to check.
+      if (rank_ != LockRank::none) {
+        lock_rank::on_try_acquire(this, name_, rank_);
+      }
       acquires_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
     return false;
   }
 
-  void unlock() { mu_.unlock(); }
+  void unlock() MPX_RELEASE() {
+    if (rank_ != LockRank::none) lock_rank::on_release(this);
+    mu_.unlock();
+  }
 
+  /// Lock-free counter snapshot; callable from any thread, any context.
   MutexStats stats() const {
     return MutexStats{acquires_.load(std::memory_order_relaxed),
                       contended_.load(std::memory_order_relaxed)};
   }
 
+  /// Lock-free counter reset; callable from any thread, any context.
   void reset_stats() {
     acquires_.store(0, std::memory_order_relaxed);
     contended_.store(0, std::memory_order_relaxed);
   }
 
+  const char* name() const { return name_; }
+  LockRank rank() const { return rank_; }
+
  private:
   std::recursive_mutex mu_;
   std::atomic<std::uint64_t> acquires_{0};
   std::atomic<std::uint64_t> contended_{0};
+  const char* name_ = "mutex";
+  LockRank rank_ = LockRank::none;
 };
 
 }  // namespace mpx::base

@@ -1,0 +1,96 @@
+// mpx/base/lock_rank.hpp
+//
+// Runtime lock-rank (lock-ordering) validator: a debug-oriented deadlock
+// lint. Every ranked lock acquisition is checked against the calling
+// thread's stack of currently-held ranked locks; acquiring a lock whose
+// rank is not strictly greater than every held rank (except re-acquiring
+// the same recursive lock) is a rank inversion — the canonical precursor of
+// an ABBA deadlock — and aborts the process with both lock names, the held
+// stack, and (optionally) acquisition backtraces.
+//
+// The rank order mirrors the architecture's locking model (see
+// docs/architecture.md, "Threading model & lock hierarchy"):
+//
+//   vci (100)  <  stream (200)  <  task_queue (300)  <  transport (400)
+//                                                   <  transport_channel (410)
+//
+// i.e. a VCI lock may be held while taking the VCI-table lock, a task-class
+// lock, or a transport lock — never the reverse. Unranked locks
+// (LockRank::none) are exempt: they neither push entries nor get checked.
+//
+// Compiled in when MPX_LOCK_RANK_CHECKS is nonzero (the default; the
+// MPX_LOCK_RANK_CHECKS=OFF CMake option defines it to 0 for release builds
+// that want zero overhead). When compiled in, the runtime kill switch is the
+// MPX_LOCK_RANK environment variable (default on); acquisition backtrace
+// capture is opt-in via MPX_LOCK_RANK_BACKTRACE (it costs an unwind per
+// ranked acquire).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef MPX_LOCK_RANK_CHECKS
+#define MPX_LOCK_RANK_CHECKS 1
+#endif
+
+namespace mpx::base {
+
+/// Lock ranks, lowest-first: a thread may only acquire locks of strictly
+/// increasing rank. Gaps leave room for future layers.
+enum class LockRank : std::int16_t {
+  none = 0,                ///< unranked: exempt from checking
+  vci = 100,               ///< core VCI mutex (the progress engine lock)
+  stream = 200,            ///< per-rank VCI-table / stream-registry lock
+  task_queue = 300,        ///< task-layer locks (TaskQueue, RequestNotifier)
+  transport = 400,         ///< transport endpoint locks (pending queues, CQs)
+  transport_channel = 410, ///< per-channel ring locks (nested inside 400)
+};
+
+/// Human-readable name of a rank ("vci", "transport", ...).
+const char* lock_rank_name(LockRank r) noexcept;
+
+namespace lock_rank {
+
+#if MPX_LOCK_RANK_CHECKS
+
+/// True when validation is active (compiled in, MPX_LOCK_RANK not "0", and
+/// not suppressed via set_enabled(false)).
+bool enabled() noexcept;
+
+/// Test hooks: force the validator (and backtrace capture) on or off for
+/// the calling process, overriding the environment.
+void set_enabled(bool on) noexcept;
+void set_backtraces(bool on) noexcept;
+
+/// Validate `rank` against the calling thread's held-lock stack, then push
+/// the acquisition. Call immediately BEFORE a blocking acquire so an actual
+/// deadlock still reports instead of hanging. Re-acquiring a lock already
+/// held by this thread (recursive mutexes) always passes. Aborts on
+/// violation.
+void on_acquire(const void* lock, const char* name, LockRank rank);
+
+/// Push without order validation: a successful try-lock cannot itself
+/// deadlock, but once held it must participate in checks for later
+/// blocking acquires.
+void on_try_acquire(const void* lock, const char* name, LockRank rank);
+
+/// Pop the most recent acquisition of `lock` from the held stack.
+void on_release(const void* lock) noexcept;
+
+/// Number of ranked locks the calling thread currently holds (tests).
+std::size_t held_count() noexcept;
+
+#else  // MPX_LOCK_RANK_CHECKS == 0: everything compiles away
+
+inline bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+inline void set_backtraces(bool) noexcept {}
+inline void on_acquire(const void*, const char*, LockRank) {}
+inline void on_try_acquire(const void*, const char*, LockRank) {}
+inline void on_release(const void*) noexcept {}
+inline std::size_t held_count() noexcept { return 0; }
+
+#endif  // MPX_LOCK_RANK_CHECKS
+
+}  // namespace lock_rank
+}  // namespace mpx::base

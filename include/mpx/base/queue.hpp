@@ -18,6 +18,7 @@
 
 #include "mpx/base/spinlock.hpp"
 #include "mpx/base/status.hpp"
+#include "mpx/base/thread_safety.hpp"
 
 namespace mpx::base {
 
@@ -69,12 +70,12 @@ template <class T>
 class MpscQueue {
  public:
   void push(T&& v) {
-    std::lock_guard<Spinlock> g(mu_);
+    LockGuard<Spinlock> g(mu_);
     q_.push_back(std::move(v));
   }
 
   std::optional<T> try_pop() {
-    std::lock_guard<Spinlock> g(mu_);
+    LockGuard<Spinlock> g(mu_);
     if (q_.empty()) return std::nullopt;
     T v = std::move(q_.front());
     q_.pop_front();
@@ -84,18 +85,18 @@ class MpscQueue {
   /// Cheap check that avoids taking the lock when the queue looks empty.
   /// May return a stale answer; callers treat it as a hint.
   bool maybe_empty() const {
-    std::lock_guard<Spinlock> g(mu_);
+    LockGuard<Spinlock> g(mu_);
     return q_.empty();
   }
 
   std::size_t size() const {
-    std::lock_guard<Spinlock> g(mu_);
+    LockGuard<Spinlock> g(mu_);
     return q_.size();
   }
 
  private:
   mutable Spinlock mu_;
-  std::deque<T> q_;
+  std::deque<T> q_ MPX_GUARDED_BY(mu_);
 };
 
 }  // namespace mpx::base

@@ -2,37 +2,64 @@
 //
 // Test-and-test-and-set spinlock with exponential-ish backoff via cpu pause.
 // Used for very short critical sections inside transports (queue push/pop).
+//
+// NOT re-entrant: re-acquiring from the same thread (e.g. from inside a
+// poll callback that already holds it) spins forever. The lock-rank
+// validator catches the ranked cases; keep critical sections free of
+// callbacks.
 #pragma once
 
 #include <atomic>
 
+#include "mpx/base/lock_rank.hpp"
 #include "mpx/base/thread.hpp"
+#include "mpx/base/thread_safety.hpp"
 
 namespace mpx::base {
 
-/// TTAS spinlock. Satisfies Lockable, usable with std::lock_guard.
-class Spinlock {
+/// TTAS spinlock. Satisfies Lockable, usable with base::LockGuard.
+class MPX_CAPABILITY("spinlock") Spinlock {
  public:
   Spinlock() = default;
+  /// Ranked constructor: enrolls the lock in the lock-rank validator.
+  /// `name` must have static storage duration.
+  Spinlock(const char* name, LockRank rank) : name_(name), rank_(rank) {}
   Spinlock(const Spinlock&) = delete;
   Spinlock& operator=(const Spinlock&) = delete;
 
-  void lock() {
+  void lock() MPX_ACQUIRE() {
+    // Validate ordering BEFORE spinning so a would-be deadlock reports
+    // instead of spinning forever.
+    if (rank_ != LockRank::none) lock_rank::on_acquire(this, name_, rank_);
     for (;;) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
       while (flag_.load(std::memory_order_relaxed)) cpu_relax();
     }
   }
 
-  bool try_lock() {
-    return !flag_.load(std::memory_order_relaxed) &&
-           !flag_.exchange(true, std::memory_order_acquire);
+  bool try_lock() MPX_TRY_ACQUIRE(true) {
+    if (!flag_.load(std::memory_order_relaxed) &&
+        !flag_.exchange(true, std::memory_order_acquire)) {
+      if (rank_ != LockRank::none) {
+        lock_rank::on_try_acquire(this, name_, rank_);
+      }
+      return true;
+    }
+    return false;
   }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() MPX_RELEASE() {
+    if (rank_ != LockRank::none) lock_rank::on_release(this);
+    flag_.store(false, std::memory_order_release);
+  }
+
+  const char* name() const { return name_; }
+  LockRank rank() const { return rank_; }
 
  private:
   std::atomic<bool> flag_{false};
+  const char* name_ = "spinlock";
+  LockRank rank_ = LockRank::none;
 };
 
 }  // namespace mpx::base

@@ -13,6 +13,19 @@
 // Completion contract: fill `status`, run `on_complete`, then store
 // `complete` with release order. MPIX_Request_is_complete is a single
 // acquire load with no side effects (paper §3.4).
+//
+// THREADING. Every mutable field except `complete` is guarded by the owning
+// VCI's lock (`vci->mu`): protocol state machines, matching, and completion
+// all run inside that VCI's progress. The fields intentionally carry no
+// MPX_GUARDED_BY annotations — clang's thread-safety analysis cannot name a
+// capability through a pointer member that aliases per-object (`vci->mu` is
+// a different mutex per request, and requests reach the protocol layer via
+// type-erased cookies), so annotating would force NO_THREAD_SAFETY_ANALYSIS
+// escapes on the whole protocol layer. The contract is enforced dynamically
+// instead: the lock-rank validator checks the VCI lock is ordered first,
+// and the tsan preset checks the data itself. Readers outside the lock may
+// touch ONLY `complete` (acquire) and, after observing it true, `status`
+// (the release store orders it).
 #pragma once
 
 #include <atomic>

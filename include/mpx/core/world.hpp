@@ -115,6 +115,8 @@ class World : public std::enable_shared_from_this<World> {
 
  private:
   explicit World(WorldConfig cfg);
+  /// Locked VCI-table lookup (acquires the rank's vci-table mutex).
+  core_detail::Vci* vci_ptr(int rank, int vci_id) const;
   struct State;
   std::unique_ptr<State> s_;
 };

@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "mpx/base/clock.hpp"
+#include "mpx/base/lock_rank.hpp"
 #include "mpx/base/spinlock.hpp"
+#include "mpx/base/thread_safety.hpp"
 #include "mpx/net/cost_model.hpp"
 #include "mpx/transport/msg.hpp"
 
@@ -72,13 +74,14 @@ class Nic {
     std::uint64_t cookie = 0;
   };
   struct Channel {
-    mutable base::Spinlock mu;
-    std::deque<TimedMsg> in_flight;  // FIFO, monotonically increasing due
-    double clear_time = 0.0;         // when the previous message clears
+    mutable base::Spinlock mu{"net:channel", base::LockRank::transport};
+    // FIFO, monotonically increasing due.
+    std::deque<TimedMsg> in_flight MPX_GUARDED_BY(mu);
+    double clear_time MPX_GUARDED_BY(mu) = 0.0;  // previous message clears
   };
   struct SendCq {
-    mutable base::Spinlock mu;
-    std::deque<CqEntry> q;  // FIFO, monotonically increasing due
+    mutable base::Spinlock mu{"net:cq", base::LockRank::transport};
+    std::deque<CqEntry> q MPX_GUARDED_BY(mu);  // FIFO, increasing due
   };
 
   Channel& channel(int src, int dst, int vci);

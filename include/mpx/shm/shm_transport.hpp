@@ -16,14 +16,17 @@
 // limits, and progress behaviour are the same.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
 
+#include "mpx/base/lock_rank.hpp"
 #include "mpx/base/queue.hpp"
 #include "mpx/base/spinlock.hpp"
+#include "mpx/base/thread_safety.hpp"
 #include "mpx/transport/msg.hpp"
 
 namespace mpx::shm {
@@ -69,12 +72,17 @@ class ShmTransport {
     // SPSC discipline: only src's threads push (under src's vci lock), only
     // dst's threads pop (under dst's vci lock); the spinlock makes the
     // channel safe even when users progress one vci from several threads.
-    mutable base::Spinlock mu;
-    std::deque<transport::Msg> ring;
+    // Rank transport_channel: poll() nests a channel lock inside the
+    // pending lock (rank transport) when flushing parked sends.
+    mutable base::Spinlock mu{"shm:channel", base::LockRank::transport_channel};
+    std::deque<transport::Msg> ring MPX_GUARDED_BY(mu);
   };
   struct Pending {
-    mutable base::Spinlock mu;
-    std::deque<std::pair<transport::Msg, std::uint64_t>> q;
+    mutable base::Spinlock mu{"shm:pending", base::LockRank::transport};
+    std::deque<std::pair<transport::Msg, std::uint64_t>> q MPX_GUARDED_BY(mu);
+    /// Mirrors q.size(); maintained under mu, read lock-free by poll() as
+    /// the fast-path "nothing parked" check (§2.6 empty-poll cost).
+    std::atomic<std::uint32_t> count{0};
   };
 
   Channel& channel(int src, int dst, int vci);

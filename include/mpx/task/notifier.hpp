@@ -10,7 +10,9 @@
 #include <functional>
 #include <vector>
 
+#include "mpx/base/lock_rank.hpp"
 #include "mpx/base/spinlock.hpp"
+#include "mpx/base/thread_safety.hpp"
 #include "mpx/core/async.hpp"
 #include "mpx/core/request.hpp"
 
@@ -44,9 +46,11 @@ class RequestNotifier {
   static AsyncResult trampoline(AsyncThing& thing);
 
   Stream stream_;
-  mutable base::Spinlock mu_;
-  std::vector<Entry> entries_;
-  bool hook_active_ = false;
+  // Rank task_queue: poll() runs under the stream's VCI lock (rank vci), so
+  // this lock always nests inside it — never the other way around.
+  mutable base::Spinlock mu_{"task:notifier", base::LockRank::task_queue};
+  std::vector<Entry> entries_ MPX_GUARDED_BY(mu_);
+  bool hook_active_ MPX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mpx::task

@@ -26,6 +26,13 @@ enum class ProgressBackoff {
 
 /// RAII progress thread for one stream. Starts on construction, stops and
 /// joins on destruction.
+///
+/// Threading contract: the helper thread only ever calls stream_progress(),
+/// which takes the stream's VCI lock (rank vci) and, transitively, transport
+/// locks (rank transport*) — the same order every application thread uses,
+/// so adding a helper thread can never introduce a lock-order cycle. All
+/// members it shares with the owner (stop_, counters) are atomics; stop()
+/// is safe to call from any thread and idempotent.
 class ProgressThread {
  public:
   explicit ProgressThread(Stream stream,

@@ -10,7 +10,9 @@
 #include <deque>
 #include <functional>
 
+#include "mpx/base/lock_rank.hpp"
 #include "mpx/base/spinlock.hpp"
+#include "mpx/base/thread_safety.hpp"
 #include "mpx/core/async.hpp"
 
 namespace mpx::task {
@@ -42,10 +44,12 @@ class TaskQueue {
   static AsyncResult trampoline(AsyncThing& thing);
 
   Stream stream_;
-  mutable base::Spinlock mu_;
-  std::deque<std::function<bool()>> q_;
-  bool hook_active_ = false;
-  bool destroyed_ = false;
+  // Rank task_queue: class_poll runs under the stream's VCI lock (rank vci),
+  // so this lock always nests inside it — never the other way around.
+  mutable base::Spinlock mu_{"task:queue", base::LockRank::task_queue};
+  std::deque<std::function<bool()>> q_ MPX_GUARDED_BY(mu_);
+  bool hook_active_ MPX_GUARDED_BY(mu_) = false;
+  bool destroyed_ MPX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mpx::task

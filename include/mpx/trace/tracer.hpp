@@ -59,7 +59,7 @@ class Tracer {
 
   void emit(const Record& r) {
     if (cap_ == 0) return;
-    std::lock_guard<base::Spinlock> g(mu_);
+    base::LockGuard<base::Spinlock> g(mu_);
     ring_[next_ % cap_] = r;
     ++next_;
   }
@@ -69,7 +69,7 @@ class Tracer {
 
   /// Total records emitted (including overwritten ones).
   std::uint64_t emitted() const {
-    std::lock_guard<base::Spinlock> g(mu_);
+    base::LockGuard<base::Spinlock> g(mu_);
     return next_;
   }
 

@@ -6,7 +6,12 @@
 namespace mpx::base {
 namespace {
 
-const char* get_env(const char* name) { return std::getenv(name); }
+// getenv is thread-safe as long as nothing calls setenv/putenv concurrently;
+// mpx never mutates the environment, so the clang-tidy concurrency warning
+// does not apply here.
+const char* get_env(const char* name) {
+  return std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+}
 
 }  // namespace
 

@@ -1,0 +1,214 @@
+#include "mpx/base/lock_rank.hpp"
+
+#if MPX_LOCK_RANK_CHECKS
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#define MPX_HAVE_BACKTRACE 1
+#else
+#define MPX_HAVE_BACKTRACE 0
+#endif
+
+#include "mpx/base/cvar.hpp"
+
+namespace mpx::base {
+
+const char* lock_rank_name(LockRank r) noexcept {
+  switch (r) {
+    case LockRank::none: return "none";
+    case LockRank::vci: return "vci";
+    case LockRank::stream: return "stream";
+    case LockRank::task_queue: return "task_queue";
+    case LockRank::transport: return "transport";
+    case LockRank::transport_channel: return "transport_channel";
+  }
+  return "?";
+}
+
+namespace lock_rank {
+namespace {
+
+constexpr int kMaxFrames = 24;
+
+/// One held ranked lock. The backtrace is captured only when backtrace
+/// recording is on (it costs an unwind per acquire).
+struct Held {
+  const void* lock = nullptr;
+  const char* name = nullptr;
+  LockRank rank = LockRank::none;
+  int n_frames = 0;
+  void* frames[kMaxFrames];
+};
+
+/// Per-thread stack of held ranked locks, in acquisition order.
+thread_local std::vector<Held> t_held;
+
+std::atomic<int> g_enabled{-1};     // -1: read env on first use
+std::atomic<int> g_backtraces{-1};  // -1: read env on first use
+
+bool flag(std::atomic<int>& f, const char* env, bool def) noexcept {
+  int v = f.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = cvar_bool(env, def) ? 1 : 0;
+    f.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+bool backtraces_on() noexcept {
+  return flag(g_backtraces, "MPX_LOCK_RANK_BACKTRACE", false);
+}
+
+void capture(Held& h) {
+#if MPX_HAVE_BACKTRACE
+  if (backtraces_on()) {
+    h.n_frames = backtrace(h.frames, kMaxFrames);
+    return;
+  }
+#endif
+  h.n_frames = 0;
+}
+
+void dump_frames(void* const* frames, int n, const char* what) {
+#if MPX_HAVE_BACKTRACE
+  if (n > 0) {
+    std::fprintf(stderr, "  %s backtrace:\n", what);
+    backtrace_symbols_fd(frames, n, /*fd=*/2);
+  } else {
+    std::fprintf(stderr,
+                 "  %s backtrace: <not captured; set "
+                 "MPX_LOCK_RANK_BACKTRACE=1>\n",
+                 what);
+  }
+#else
+  (void)frames;
+  (void)n;
+  std::fprintf(stderr, "  %s backtrace: <unavailable on this platform>\n",
+               what);
+#endif
+}
+
+[[noreturn]] void report_violation(const Held& conflicting, const void* lock,
+                                   const char* name, LockRank rank) {
+  // One big fprintf-per-line dump: this runs on the way to abort(), so
+  // keep it allocation-light and unconditional.
+  std::fprintf(stderr,
+               "\n=== mpx lock-rank violation (potential deadlock) ===\n");
+  std::fprintf(stderr,
+               "acquiring lock \"%s\" (rank %s=%d, %p) while holding lock "
+               "\"%s\" (rank %s=%d, %p)\n",
+               name, lock_rank_name(rank), static_cast<int>(rank), lock,
+               conflicting.name, lock_rank_name(conflicting.rank),
+               static_cast<int>(conflicting.rank), conflicting.lock);
+  std::fprintf(stderr,
+               "lock ranks must strictly increase within a thread "
+               "(vci < stream < task_queue < transport); see "
+               "docs/architecture.md \"Threading model & lock hierarchy\"\n");
+  std::fprintf(stderr, "held ranked locks (acquisition order):\n");
+  for (const Held& h : t_held) {
+    std::fprintf(stderr, "  - \"%s\" (rank %s=%d, %p)\n", h.name,
+                 lock_rank_name(h.rank), static_cast<int>(h.rank), h.lock);
+  }
+  dump_frames(conflicting.frames, conflicting.n_frames,
+              "conflicting acquisition");
+#if MPX_HAVE_BACKTRACE
+  void* here[kMaxFrames];
+  const int n = backtrace(here, kMaxFrames);
+  dump_frames(here, n, "current");
+#endif
+  std::fprintf(stderr, "=== aborting ===\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+void push(const void* lock, const char* name, LockRank rank) {
+  Held h;
+  h.lock = lock;
+  h.name = name != nullptr ? name : "<unnamed>";
+  h.rank = rank;
+  capture(h);
+  t_held.push_back(h);
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return flag(g_enabled, "MPX_LOCK_RANK", true);
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void set_backtraces(bool on) noexcept {
+  g_backtraces.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void on_acquire(const void* lock, const char* name, LockRank rank) {
+  if (!enabled()) return;
+  // Re-acquisition of a lock this thread already holds is legal for the
+  // recursive InstrumentedMutex; skip the order check but still push so the
+  // matching unlock pops correctly.
+  const Held* conflicting = nullptr;
+  for (const Held& h : t_held) {
+    if (h.lock == lock) {
+      push(lock, name, rank);
+      return;
+    }
+    // The strictest violation to report: the highest-ranked held lock that
+    // is >= the incoming rank.
+    if (h.rank >= rank &&
+        (conflicting == nullptr || h.rank > conflicting->rank)) {
+      conflicting = &h;
+    }
+  }
+  if (conflicting != nullptr) report_violation(*conflicting, lock, name, rank);
+  push(lock, name, rank);
+}
+
+void on_try_acquire(const void* lock, const char* name, LockRank rank) {
+  if (!enabled()) return;
+  push(lock, name, rank);
+}
+
+void on_release(const void* lock) noexcept {
+  if (!enabled()) return;
+  for (std::size_t i = t_held.size(); i > 0; --i) {
+    if (t_held[i - 1].lock == lock) {
+      t_held.erase(t_held.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  // Releasing a lock that was never pushed happens when validation was
+  // enabled between acquire and release (test toggles); ignore.
+}
+
+std::size_t held_count() noexcept { return t_held.size(); }
+
+}  // namespace lock_rank
+}  // namespace mpx::base
+
+#else  // !MPX_LOCK_RANK_CHECKS
+
+namespace mpx::base {
+
+const char* lock_rank_name(LockRank r) noexcept {
+  switch (r) {
+    case LockRank::none: return "none";
+    case LockRank::vci: return "vci";
+    case LockRank::stream: return "stream";
+    case LockRank::task_queue: return "task_queue";
+    case LockRank::transport: return "transport";
+    case LockRank::transport_channel: return "transport_channel";
+  }
+  return "?";
+}
+
+}  // namespace mpx::base
+
+#endif  // MPX_LOCK_RANK_CHECKS

@@ -204,7 +204,8 @@ Request iallreduce(const void* sendbuf, void* recvbuf, std::size_t count,
   const std::size_t bytes = count * dt.size();
 
   std::byte* acc = static_cast<std::byte*>(recvbuf);
-  if (sendbuf != in_place) std::memcpy(acc, sendbuf, bytes);
+  // Zero-count collectives pass null buffers; memcpy(null, null, 0) is UB.
+  if (sendbuf != in_place && bytes != 0) std::memcpy(acc, sendbuf, bytes);
 
   const int pow2 = floor_pow2(size);
   const int rem = size - pow2;
@@ -486,7 +487,8 @@ Request iscan(const void* sendbuf, void* recvbuf, std::size_t count,
   const std::size_t bytes = count * dt.size();
 
   std::byte* acc = static_cast<std::byte*>(recvbuf);
-  if (sendbuf != in_place) std::memcpy(acc, sendbuf, bytes);
+  // Zero-count collectives pass null buffers; memcpy(null, null, 0) is UB.
+  if (sendbuf != in_place && bytes != 0) std::memcpy(acc, sendbuf, bytes);
 
   if (rank > 0) {
     std::byte* tmp = s->scratch(bytes);

@@ -133,7 +133,7 @@ std::optional<Status> Comm::iprobe(int src, int tag) const {
 
   const int match_src = src == any_source ? any_source : impl_->to_world(src);
   std::optional<Status> out;
-  std::lock_guard<base::InstrumentedMutex> g(v.mu);
+  base::LockGuard<base::InstrumentedMutex> g(v.mu);
   v.unexpected.for_each_safe([&](core_detail::UnexpMsg* u) {
     if (out.has_value()) return;
     const auto& h = u->msg.h;
@@ -181,7 +181,7 @@ std::optional<MatchedMsg> Comm::improbe(int src, int tag) const {
   const int match_src = src == any_source ? any_source : impl_->to_world(src);
   core_detail::UnexpMsg* hit = nullptr;
   {
-    std::lock_guard<base::InstrumentedMutex> g(v.mu);
+    base::LockGuard<base::InstrumentedMutex> g(v.mu);
     v.unexpected.for_each_safe([&](core_detail::UnexpMsg* u) {
       if (hit != nullptr) return;
       const auto& h = u->msg.h;

@@ -5,12 +5,16 @@
 // engine, the protocol layer, and the public wrappers.
 //
 // LOCKING MODEL. Each VCI owns one InstrumentedMutex (`mu`, a recursive
-// mutex). Every state mutation of the VCI — posting receives, matching,
-// polling hooks, progressing transports for that endpoint — happens under
-// it. Operations issued from inside poll callbacks re-enter the same lock
-// (hence recursive), matching MPICH's owner-tracked VCI locks. Transports
-// have their own fine-grained spinlocks; lock order is always VCI -> channel
-// and never the reverse.
+// mutex, LockRank::vci). Every state mutation of the VCI — posting receives,
+// matching, polling hooks, progressing transports for that endpoint —
+// happens under it. Operations issued from inside poll callbacks re-enter
+// the same lock (hence recursive), matching MPICH's owner-tracked VCI locks.
+// Transports have their own fine-grained spinlocks; lock order is always
+// VCI -> vci-table -> transport and never the reverse — enforced at runtime
+// by the lock-rank validator (base/lock_rank.hpp) and documented in
+// docs/architecture.md ("Threading model & lock hierarchy"). Fields guarded
+// by `mu` carry MPX_GUARDED_BY annotations checked by clang -Wthread-safety
+// (the `thread-safety` CMake preset).
 #pragma once
 
 #include <any>
@@ -23,7 +27,9 @@
 
 #include "mpx/base/instrumented_mutex.hpp"
 #include "mpx/base/intrusive.hpp"
+#include "mpx/base/lock_rank.hpp"
 #include "mpx/base/queue.hpp"
+#include "mpx/base/thread_safety.hpp"
 #include "mpx/core/async.hpp"
 #include "mpx/core/detail/request_impl.hpp"
 #include "mpx/core/world.hpp"
@@ -74,50 +80,62 @@ struct LmtWork {
 
 /// One virtual communication interface: the serial execution context behind
 /// an MPIX_Stream. VCI 0 is the default (MPIX_STREAM_NULL) context.
+///
+/// Immutable after construction (set before the VCI is published): id,
+/// rank, world, default_mask, sink. Everything mutable is either guarded by
+/// `mu` or atomic.
 struct Vci {
-  ~Vci();
+  ~Vci() MPX_NO_THREAD_SAFETY_ANALYSIS;  // teardown is single-threaded
 
   int id = 0;
   int rank = -1;
   World* world = nullptr;
-  bool active = true;  ///< false after stream_free
+  std::atomic<bool> active{true};  ///< false after stream_free
   unsigned default_mask = progress_all;
 
-  base::InstrumentedMutex mu;
+  base::InstrumentedMutex mu{"vci", base::LockRank::vci};
 
   // Matching engine (per-VCI, as in MPICH ch4).
-  base::IntrusiveList<RequestImpl, &RequestImpl::match_hook> posted;
-  base::IntrusiveList<UnexpMsg, &UnexpMsg::hook> unexpected;
+  base::IntrusiveList<RequestImpl, &RequestImpl::match_hook> posted
+      MPX_GUARDED_BY(mu);
+  base::IntrusiveList<UnexpMsg, &UnexpMsg::hook> unexpected MPX_GUARDED_BY(mu);
 
   // Progress subsystems, in Listing 1.1 order.
-  dtype::PackEngine pack_engine;       // (1) datatype engine
-  AsyncRuntime::List coll_hooks;       // (2) collective schedules
-  AsyncRuntime::List asyncs;           // (3) user async things
-  std::list<LmtWork> lmt;              // (4a) shm large-message copies
+  dtype::PackEngine pack_engine MPX_GUARDED_BY(mu);   // (1) datatype engine
+  AsyncRuntime::List coll_hooks MPX_GUARDED_BY(mu);   // (2) coll schedules
+  AsyncRuntime::List asyncs MPX_GUARDED_BY(mu);       // (3) user async things
+  std::list<LmtWork> lmt MPX_GUARDED_BY(mu);          // (4a) shm LMT copies
 
   // Cross-thread registration mailboxes, drained at the top of each
   // progress call (avoids nested VCI locks on spawn-to-other-stream).
+  // Internally locked; safe to push from any thread without holding `mu`.
   base::MpscQueue<AsyncThing*> inbox_asyncs;
   base::MpscQueue<AsyncThing*> inbox_coll;
 
-  // Protocol sink for transport polls (constructed by protocol.cpp).
+  // Protocol sink for transport polls (constructed by protocol.cpp before
+  // the VCI is published; the sink itself must only be *invoked* under mu).
   std::unique_ptr<transport::TransportSink> sink;
 
   // Accounting.
-  std::uint64_t progress_calls = 0;
+  std::uint64_t progress_calls MPX_GUARDED_BY(mu) = 0;
   std::atomic<std::int64_t> active_ops{0};  ///< in-flight p2p/coll requests
   std::atomic<std::int64_t> hook_count{0};  ///< linked async+coll hooks
   /// Progress-made counts per collation stage (dtype, coll, async, shm,
   /// net), in Listing 1.1 order — the observability behind abl_collation.
-  std::uint64_t stage_hits[5] = {0, 0, 0, 0, 0};
+  std::uint64_t stage_hits[5] MPX_GUARDED_BY(mu) = {0, 0, 0, 0, 0};
 };
 
-/// Per-rank state: the VCI table.
+/// Per-rank state: the VCI table. `vcis_mu` (LockRank::stream) guards table
+/// growth and slot reuse; it nests INSIDE a held VCI lock (spawning onto
+/// another stream resolves the target VCI while the current one is locked),
+/// so it ranks above LockRank::vci.
 struct RankCtx {
   int rank = -1;
   World* world = nullptr;
-  std::vector<std::unique_ptr<Vci>> vcis;  // index = vci id; [0] always live
-  mutable std::mutex vcis_mu;              // guards table growth
+  std::vector<std::unique_ptr<Vci>> vcis
+      MPX_GUARDED_BY(vcis_mu);  // index = vci id; [0] always live
+  mutable base::InstrumentedMutex vcis_mu{"vci-table",
+                                          base::LockRank::stream};
 };
 
 /// Blocking all-members coordination for communicator management ops
@@ -168,10 +186,14 @@ struct CommImpl {
 // ---- helpers shared across core translation units ----
 
 /// Fill status, fire the completion hook, then publish completion (release).
-/// Must run under the request's VCI lock (or before the request is visible).
+/// Must run under the request's VCI lock (or before the request is visible;
+/// grequests have no VCI, hence no MPX_REQUIRES — the contract is by
+/// convention, not statically checkable through the cookie indirection).
 void complete_request(RequestImpl* r, Err err);
 
 /// The collated progress function (Listing 1.1). Returns made_progress.
+/// Acquires v.mu internally (re-entrant: safe to call from poll callbacks
+/// already under the same VCI's lock).
 int progress_test(Vci& v, unsigned mask);
 
 /// Post-side entry points (protocol.cpp). `sync` forces rendezvous
@@ -190,6 +212,7 @@ Request imrecv_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
                     UnexpMsg* u);
 
 /// Return an unconsumed matched-probe message to the unexpected queue.
+/// Acquires v.mu internally.
 void requeue_unexpected(Vci& v, UnexpMsg* u);
 
 /// Emit a protocol trace record from a VCI context (no-op when disabled).
@@ -213,6 +236,6 @@ inline void trace_emit(Vci& v, trace::Event ev, int peer, int tag,
 std::unique_ptr<transport::TransportSink> make_vci_sink(Vci& v);
 
 /// Shm LMT copy stage, called from the shm slot of progress_test.
-void lmt_progress(Vci& v, int* made_progress);
+void lmt_progress(Vci& v, int* made_progress) MPX_REQUIRES(v.mu);
 
 }  // namespace mpx::core_detail

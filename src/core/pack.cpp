@@ -24,7 +24,7 @@ Request start_pack_op(dtype::PackDir dir, void* typed, std::size_t count,
                                                 std::move(dt), packed, chunk);
   r->total_bytes = work->total_bytes();
   r->ref_inc();  // the engine's completion cookie
-  std::lock_guard<base::InstrumentedMutex> g(v.mu);
+  base::LockGuard<base::InstrumentedMutex> g(v.mu);
   v.pack_engine.submit(
       std::move(work),
       [](void* cookie) {

@@ -112,7 +112,7 @@ void start(Request& req) {
   r->ref_inc();  // held by the completion hook below
   bool fire_now = false;
   {
-    std::lock_guard<base::InstrumentedMutex> g(in->vci->mu);
+    base::LockGuard<base::InstrumentedMutex> g(in->vci->mu);
     if (in->complete.load(std::memory_order_acquire)) {
       fire_now = true;  // e.g. a buffered eager send completed at initiation
     } else {

@@ -45,20 +45,25 @@ namespace {
 void enqueue_hook(AsyncPollFn fn, void* state, const Stream& s,
                   bool coll_stage) {
   Vci& v = s.world().vci(s.rank(), s.vci());
-  expects(v.active, "async_start: stream has been freed");
+  expects(v.active.load(std::memory_order_acquire),
+          "async_start: stream has been freed");
   AsyncThing* t = AsyncRuntime::make(fn, state, s);
   v.hook_count.fetch_add(1, std::memory_order_relaxed);
   (coll_stage ? v.inbox_coll : v.inbox_asyncs).push(std::move(t));
 }
 
-void drain_inbox(base::MpscQueue<AsyncThing*>& inbox,
-                 AsyncRuntime::List& list) {
+/// Move newly-registered hooks from a mailbox onto a poll list. The list is
+/// one of v's guarded hook lists, hence the lock requirement.
+void drain_inbox(Vci& v, base::MpscQueue<AsyncThing*>& inbox,
+                 AsyncRuntime::List& list) MPX_REQUIRES(v.mu) {
+  (void)v;
   while (auto t = inbox.try_pop()) list.push_back(*t);
 }
 
 /// Poll every hook in `list` once. A hook returning done is unlinked and
 /// destroyed and counts as progress; pending hooks do not.
-void poll_hooks(Vci& v, AsyncRuntime::List& list, int* made) {
+void poll_hooks(Vci& v, AsyncRuntime::List& list, int* made)
+    MPX_REQUIRES(v.mu) {
   list.for_each_safe([&](AsyncThing* t) {
     const AsyncResult r = AsyncRuntime::fn(*t)(*t);
     if (AsyncRuntime::has_spawned(*t)) {
@@ -81,11 +86,11 @@ void poll_hooks(Vci& v, AsyncRuntime::List& list, int* made) {
 
 int progress_test(Vci& v, unsigned mask) {
   World& w = *v.world;
-  std::lock_guard<base::InstrumentedMutex> g(v.mu);
+  base::LockGuard<base::InstrumentedMutex> g(v.mu);
   ++v.progress_calls;
 
-  drain_inbox(v.inbox_coll, v.coll_hooks);
-  drain_inbox(v.inbox_asyncs, v.asyncs);
+  drain_inbox(v, v.inbox_coll, v.coll_hooks);
+  drain_inbox(v, v.inbox_asyncs, v.asyncs);
 
   int made = 0;
   if ((mask & progress_dtype) != 0) {
@@ -186,7 +191,11 @@ AsyncResult fn_hook_trampoline(AsyncThing& t) {
 
 void async_start(std::function<AsyncResult()> fn, const Stream& stream) {
   expects(static_cast<bool>(fn), "async_start: empty callable");
-  async_start(&fn_hook_trampoline, new FnHookState{std::move(fn)}, stream);
+  // Keep ownership until registration succeeds: async_start throws on an
+  // invalid/freed stream, and the state must not leak then.
+  auto state = std::make_unique<FnHookState>(FnHookState{std::move(fn)});
+  async_start(&fn_hook_trampoline, state.get(), stream);
+  state.release();  // the hook owns it now; freed when the poll returns done
 }
 
 }  // namespace mpx

@@ -52,7 +52,7 @@ bool match(const RequestImpl& r, std::int32_t ctx, std::int32_t src,
 
 /// Pop the first posted receive matching the header (FIFO order).
 /// The returned pointer carries the posted-list reference.
-RequestImpl* pop_posted(Vci& v, const MsgHeader& h) {
+RequestImpl* pop_posted(Vci& v, const MsgHeader& h) MPX_REQUIRES(v.mu) {
   RequestImpl* found = nullptr;
   v.posted.for_each_safe([&](RequestImpl* r) {
     if (found == nullptr && match(*r, h.context_id, h.src_rank, h.tag)) {
@@ -93,7 +93,8 @@ void deliver_eager(RequestImpl* rreq, const MsgHeader& h,
 
 /// Begin the rendezvous receive for a matched RTS.
 /// Takes ownership of the caller's reference to rreq.
-void start_rndv_recv(Vci& v, base::Ref<RequestImpl> rreq, const MsgHeader& h) {
+void start_rndv_recv(Vci& v, base::Ref<RequestImpl> rreq, const MsgHeader& h)
+    MPX_REQUIRES(v.mu) {
   World& w = *v.world;
   set_recv_envelope(rreq.get(), h);
   rreq->total_bytes = h.total_bytes;
@@ -166,7 +167,7 @@ void inject_next_chunk(Vci& v, RequestImpl* sreq) {
 
 // ---- inbound handlers (under the VCI lock) ----
 
-void handle_eager(Vci& v, Msg&& m) {
+void handle_eager(Vci& v, Msg&& m) MPX_REQUIRES(v.mu) {
   if (RequestImpl* rreq = pop_posted(v, m.h); rreq != nullptr) {
     base::Ref<RequestImpl> own(rreq);  // adopt the posted-list reference
     trace_emit(v, trace::Event::match, m.h.src_rank, m.h.tag,
@@ -181,7 +182,7 @@ void handle_eager(Vci& v, Msg&& m) {
   v.unexpected.push_back(u);
 }
 
-void handle_rts(Vci& v, Msg&& m) {
+void handle_rts(Vci& v, Msg&& m) MPX_REQUIRES(v.mu) {
   trace_emit(v, trace::Event::rts, m.h.src_rank, m.h.tag, m.h.total_bytes);
   if (RequestImpl* rreq = pop_posted(v, m.h); rreq != nullptr) {
     trace_emit(v, trace::Event::match, m.h.src_rank, m.h.tag,
@@ -246,12 +247,16 @@ void handle_ack(Vci& v, Msg&& m) {
   complete_request(sreq.get(), Err::success);
 }
 
-/// The transport sink: dispatches arrivals into the handlers above.
+/// The transport sink: dispatches arrivals into the handlers above. Both
+/// entry points run under the polling VCI's lock (transports are only
+/// polled from progress_test), expressed as MPX_REQUIRES below — placed
+/// after `override`, the one position both clang (which sees the attribute)
+/// and gcc (which sees nothing) accept.
 class VciSink final : public transport::TransportSink {
  public:
   explicit VciSink(Vci& v) : v_(v) {}
 
-  void on_msg(Msg&& m) override {
+  void on_msg(Msg&& m) override MPX_REQUIRES(v_.mu) {
     switch (m.h.kind) {
       case MsgKind::eager: handle_eager(v_, std::move(m)); break;
       case MsgKind::rts: handle_rts(v_, std::move(m)); break;
@@ -261,7 +266,7 @@ class VciSink final : public transport::TransportSink {
     }
   }
 
-  void on_send_complete(std::uint64_t cookie) override {
+  void on_send_complete(std::uint64_t cookie) override MPX_REQUIRES(v_.mu) {
     base::Ref<RequestImpl> ref = from_cookie(cookie);
     RequestImpl* sreq = ref.get();
     switch (sreq->proto) {
@@ -385,7 +390,7 @@ Request isend_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
   m.h.total_bytes = r->total_bytes;
 
   const WorldConfig& cfg = w.config();
-  std::lock_guard<base::InstrumentedMutex> g(v.mu);
+  base::LockGuard<base::InstrumentedMutex> g(v.mu);
   if (w.same_node(self, peer)) {
     if (!sync && r->total_bytes <= cfg.shm_eager_max) {
       r->proto = SendProto::shm_eager;
@@ -454,7 +459,7 @@ Request irecv_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
   r->match_tag = tag;
   v.active_ops.fetch_add(1, std::memory_order_relaxed);
 
-  std::lock_guard<base::InstrumentedMutex> g(v.mu);
+  base::LockGuard<base::InstrumentedMutex> g(v.mu);
   // Check the unexpected queue first (FIFO).
   UnexpMsg* hit = nullptr;
   v.unexpected.for_each_safe([&](UnexpMsg* u) {
@@ -503,7 +508,7 @@ Request imrecv_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
   r->context_id = u->msg.h.context_id;
   v.active_ops.fetch_add(1, std::memory_order_relaxed);
 
-  std::lock_guard<base::InstrumentedMutex> g(v.mu);
+  base::LockGuard<base::InstrumentedMutex> g(v.mu);
   if (u->msg.h.kind == MsgKind::eager) {
     deliver_eager(r, u->msg.h, u->msg.payload.span());
   } else {
@@ -515,7 +520,7 @@ Request imrecv_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
 }
 
 void requeue_unexpected(Vci& v, UnexpMsg* u) {
-  std::lock_guard<base::InstrumentedMutex> g(v.mu);
+  base::LockGuard<base::InstrumentedMutex> g(v.mu);
   // Front, not back: the message was matched first; returning it must not
   // let a younger message from the same channel overtake it.
   v.unexpected.push_front(u);

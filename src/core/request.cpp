@@ -50,7 +50,7 @@ void Request::cancel() {
     return;
   }
   if (r->kind != core_detail::ReqKind::recv || r->vci == nullptr) return;
-  std::lock_guard<base::InstrumentedMutex> g(r->vci->mu);
+  base::LockGuard<base::InstrumentedMutex> g(r->vci->mu);
   if (r->match_hook.linked()) {
     r->vci->posted.erase(r);
     r->cancelled = true;

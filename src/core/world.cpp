@@ -138,10 +138,10 @@ Stream World::stream_create(int rank, const Info& info) {
   if (info.get_bool("mpx_skip_coll", false)) mask &= ~progress_coll;
 
   RankCtx& rc = *s_->ranks[static_cast<std::size_t>(rank)];
-  std::lock_guard<std::mutex> g(rc.vcis_mu);
+  base::LockGuard<base::InstrumentedMutex> g(rc.vcis_mu);
   // Reuse a freed slot if available.
   for (std::size_t i = 1; i < rc.vcis.size(); ++i) {
-    if (!rc.vcis[i]->active) {
+    if (!rc.vcis[i]->active.load(std::memory_order_acquire)) {
       rc.vcis[i] = make_vci(this, rank, static_cast<int>(i), mask);
       return Stream(this, rank, static_cast<int>(i), mask);
     }
@@ -159,13 +159,18 @@ void World::stream_free(Stream& stream) {
   expects(stream.vci() != 0, "stream_free: cannot free the null stream");
   Vci& v = vci(stream.rank(), stream.vci());
   {
-    std::lock_guard<base::InstrumentedMutex> g(v.mu);
+    base::LockGuard<base::InstrumentedMutex> g(v.mu);
     expects(v.asyncs.empty() && v.coll_hooks.empty() && v.posted.empty() &&
                 v.lmt.empty() &&
                 v.active_ops.load(std::memory_order_relaxed) == 0,
             "stream_free: stream still has pending work");
-    v.active = false;
   }
+  // Publish reusability only AFTER the guard released v.mu: stream_create
+  // deletes the Vci as soon as it observes active == false (acquire), and
+  // the release store below is what orders that deletion after our unlock.
+  // Storing while still holding the lock let a concurrent create destroy
+  // the mutex mid-unlock (caught by the tsan preset).
+  v.active.store(false, std::memory_order_release);
   stream = Stream();
 }
 
@@ -176,16 +181,19 @@ void World::finalize_rank(int rank) {
   // "MPI_Finalize will spin progress until all async tasks complete").
   for (;;) {
     bool quiet = true;
-    std::size_t nv = 0;
+    // Snapshot the table under its lock: stream_create may grow the vector
+    // concurrently, and the Vci objects themselves are stable (unique_ptr).
+    std::vector<core_detail::Vci*> vcis;
     {
-      std::lock_guard<std::mutex> g(rc.vcis_mu);
-      nv = rc.vcis.size();
+      base::LockGuard<base::InstrumentedMutex> g(rc.vcis_mu);
+      vcis.reserve(rc.vcis.size());
+      for (const auto& v : rc.vcis) vcis.push_back(v.get());
     }
-    for (std::size_t i = 0; i < nv; ++i) {
-      Vci& v = *rc.vcis[i];
-      if (!v.active) continue;
+    for (std::size_t i = 0; i < vcis.size(); ++i) {
+      Vci& v = *vcis[i];
+      if (!v.active.load(std::memory_order_acquire)) continue;
       core_detail::progress_test(v, progress_all);
-      std::lock_guard<base::InstrumentedMutex> g(v.mu);
+      base::LockGuard<base::InstrumentedMutex> g(v.mu);
       const bool idle =
           v.asyncs.empty() && v.coll_hooks.empty() && v.lmt.empty() &&
           v.pack_engine.idle() &&
@@ -199,21 +207,28 @@ void World::finalize_rank(int rank) {
   }
 }
 
+core_detail::Vci* World::vci_ptr(int rank, int vci_id) const {
+  RankCtx& rc = *s_->ranks[static_cast<std::size_t>(rank)];
+  base::LockGuard<base::InstrumentedMutex> g(rc.vcis_mu);
+  expects(vci_id >= 0 && vci_id < static_cast<int>(rc.vcis.size()),
+          "vci id out of range");
+  return rc.vcis[static_cast<std::size_t>(vci_id)].get();
+}
+
 base::MutexStats World::vci_lock_stats(int rank, int vci_id) const {
-  return s_->ranks[static_cast<std::size_t>(rank)]
-      ->vcis[static_cast<std::size_t>(vci_id)]
-      ->mu.stats();
+  return vci_ptr(rank, vci_id)->mu.stats();
 }
 
 std::uint64_t World::vci_progress_calls(int rank, int vci_id) const {
-  return s_->ranks[static_cast<std::size_t>(rank)]
-      ->vcis[static_cast<std::size_t>(vci_id)]
-      ->progress_calls;
+  // The table lock is released before taking the VCI lock: ranks only go up.
+  Vci& v = *vci_ptr(rank, vci_id);
+  base::LockGuard<base::InstrumentedMutex> g(v.mu);
+  return v.progress_calls;
 }
 
 World::StageCounters World::vci_stage_counters(int rank, int vci_id) const {
-  const auto& v = *s_->ranks[static_cast<std::size_t>(rank)]
-                       ->vcis[static_cast<std::size_t>(vci_id)];
+  Vci& v = *vci_ptr(rank, vci_id);
+  base::LockGuard<base::InstrumentedMutex> g(v.mu);
   StageCounters c;
   c.dtype = v.stage_hits[0];
   c.coll = v.stage_hits[1];
@@ -237,13 +252,7 @@ RankCtx& World::rank_ctx(int rank) {
   return *s_->ranks[static_cast<std::size_t>(rank)];
 }
 
-Vci& World::vci(int rank, int vci_id) {
-  RankCtx& rc = *s_->ranks[static_cast<std::size_t>(rank)];
-  std::lock_guard<std::mutex> g(rc.vcis_mu);
-  expects(vci_id >= 0 && vci_id < static_cast<int>(rc.vcis.size()),
-          "vci id out of range");
-  return *rc.vcis[static_cast<std::size_t>(vci_id)];
-}
+Vci& World::vci(int rank, int vci_id) { return *vci_ptr(rank, vci_id); }
 
 shm::ShmTransport& World::shm_transport() { return *s_->shm; }
 net::Nic& World::nic() { return *s_->nic; }

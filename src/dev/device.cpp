@@ -42,7 +42,7 @@ struct CopyOp {
     } else {  // d2d
       std::memmove(dmem->data() + doff, smem->data() + soff, bytes);
     }
-    std::lock_guard<base::Spinlock> g(*counter_mu);
+    base::LockGuard<base::Spinlock> g(*counter_mu);
     ++*counter;
   }
 };
@@ -81,7 +81,7 @@ Request SimDevice::submit(Dir dir, DeviceBuffer dbuf, std::size_t doff,
   op->counter_mu = &mu_;
   {
     // One DMA queue per device: copies serialize in issue order.
-    std::lock_guard<base::Spinlock> g(mu_);
+    base::LockGuard<base::Spinlock> g(mu_);
     const double start = std::max(world_->wtime(), queue_clear_time_);
     op->due = start + model_.launch_latency +
               static_cast<double>(bytes) / bw;
@@ -119,7 +119,7 @@ Request SimDevice::imemcpy_d2d(DeviceBuffer dst, std::size_t dst_off,
 }
 
 std::uint64_t SimDevice::copies_completed() const {
-  std::lock_guard<base::Spinlock> g(mu_);
+  base::LockGuard<base::Spinlock> g(mu_);
   return copies_;
 }
 

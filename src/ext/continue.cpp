@@ -67,7 +67,7 @@ void continue_attach(Request& op_request, ContinueCb cb, void* cb_data,
   bool fire_now = false;
   {
     // The completion path runs under the op's VCI lock; serialize with it.
-    std::lock_guard<base::InstrumentedMutex> g(r->vci->mu);
+    base::LockGuard<base::InstrumentedMutex> g(r->vci->mu);
     if (r->complete.load(std::memory_order_acquire)) {
       fire_now = true;
     } else {

@@ -13,24 +13,24 @@ SimDisk::SimDisk(World& world, DiskModel model)
     : world_(&world), model_(model) {}
 
 std::uint64_t SimDisk::size(const std::string& name) const {
-  std::lock_guard<base::Spinlock> g(mu_);
+  base::LockGuard<base::Spinlock> g(mu_);
   auto it = objects_.find(name);
   return it == objects_.end() ? 0 : it->second.size();
 }
 
 bool SimDisk::exists(const std::string& name) const {
-  std::lock_guard<base::Spinlock> g(mu_);
+  base::LockGuard<base::Spinlock> g(mu_);
   return objects_.count(name) != 0;
 }
 
 void SimDisk::remove(const std::string& name) {
-  std::lock_guard<base::Spinlock> g(mu_);
+  base::LockGuard<base::Spinlock> g(mu_);
   objects_.erase(name);
 }
 
 void SimDisk::raw_write(const std::string& name, std::uint64_t offset,
                         base::ConstByteSpan data) {
-  std::lock_guard<base::Spinlock> g(mu_);
+  base::LockGuard<base::Spinlock> g(mu_);
   auto& obj = objects_[name];
   if (obj.size() < offset + data.size()) obj.resize(offset + data.size());
   if (!data.empty()) std::memcpy(obj.data() + offset, data.data(), data.size());
@@ -39,7 +39,7 @@ void SimDisk::raw_write(const std::string& name, std::uint64_t offset,
 std::vector<std::byte> SimDisk::raw_read(const std::string& name,
                                          std::uint64_t offset,
                                          std::uint64_t len) const {
-  std::lock_guard<base::Spinlock> g(mu_);
+  base::LockGuard<base::Spinlock> g(mu_);
   auto it = objects_.find(name);
   if (it == objects_.end() || offset >= it->second.size()) return {};
   const std::uint64_t n = std::min<std::uint64_t>(len, it->second.size() - offset);
@@ -48,16 +48,16 @@ std::vector<std::byte> SimDisk::raw_read(const std::string& name,
 }
 
 std::uint64_t SimDisk::reads_completed() const {
-  std::lock_guard<base::Spinlock> g(mu_);
+  base::LockGuard<base::Spinlock> g(mu_);
   return reads_;
 }
 std::uint64_t SimDisk::writes_completed() const {
-  std::lock_guard<base::Spinlock> g(mu_);
+  base::LockGuard<base::Spinlock> g(mu_);
   return writes_;
 }
 
 void SimDisk::note_completed(bool is_write) {
-  std::lock_guard<base::Spinlock> g(mu_);
+  base::LockGuard<base::Spinlock> g(mu_);
   if (is_write) {
     ++writes_;
   } else {

@@ -1,7 +1,5 @@
 #include "mpx/net/nic.hpp"
 
-#include <mutex>
-
 #include "mpx/base/status.hpp"
 
 namespace mpx::net {
@@ -50,7 +48,7 @@ void Nic::inject(Msg&& m, std::uint64_t cookie) {
 
   Channel& ch = channel(m.h.src_rank, m.h.dst_rank, m.h.dst_vci);
   {
-    std::lock_guard<base::Spinlock> g(ch.mu);
+    base::LockGuard<base::Spinlock> g(ch.mu);
     const double due = model_.deliver_time(now, ch.clear_time, bytes);
     ch.clear_time = due;
     ch.in_flight.push_back(TimedMsg{due, std::move(m)});
@@ -58,7 +56,7 @@ void Nic::inject(Msg&& m, std::uint64_t cookie) {
 
   if (cookie != 0) {
     SendCq& cq = send_cq(src_rank, src_vci);
-    std::lock_guard<base::Spinlock> g(cq.mu);
+    base::LockGuard<base::Spinlock> g(cq.mu);
     cq.q.push_back(CqEntry{model_.inject_done_time(now, bytes), cookie});
   }
 }
@@ -72,7 +70,7 @@ void Nic::poll(int rank, int vci, transport::TransportSink& sink,
   for (;;) {
     std::uint64_t cookie = 0;
     {
-      std::lock_guard<base::Spinlock> g(cq.mu);
+      base::LockGuard<base::Spinlock> g(cq.mu);
       if (cq.q.empty() || cq.q.front().due > now) break;
       cookie = cq.q.front().cookie;
       cq.q.pop_front();
@@ -88,7 +86,7 @@ void Nic::poll(int rank, int vci, transport::TransportSink& sink,
     for (;;) {
       Msg m;
       {
-        std::lock_guard<base::Spinlock> g(ch.mu);
+        base::LockGuard<base::Spinlock> g(ch.mu);
         if (ch.in_flight.empty() || ch.in_flight.front().due > now) break;
         m = std::move(ch.in_flight.front().msg);
         ch.in_flight.pop_front();
@@ -103,12 +101,12 @@ void Nic::poll(int rank, int vci, transport::TransportSink& sink,
 bool Nic::idle(int rank, int vci) const {
   {
     const SendCq& cq = send_cq(rank, vci);
-    std::lock_guard<base::Spinlock> g(cq.mu);
+    base::LockGuard<base::Spinlock> g(cq.mu);
     if (!cq.q.empty()) return false;
   }
   for (int src = 0; src < nranks_; ++src) {
     const Channel& ch = channel(src, rank, vci);
-    std::lock_guard<base::Spinlock> g(ch.mu);
+    base::LockGuard<base::Spinlock> g(ch.mu);
     if (!ch.in_flight.empty()) return false;
   }
   return true;

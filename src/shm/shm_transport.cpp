@@ -46,25 +46,29 @@ bool ShmTransport::send(Msg&& m, std::uint64_t cookie) {
   {
     // Preserve channel FIFO order: if anything is already parked for this
     // source endpoint, new sends must queue behind it.
-    std::lock_guard<base::Spinlock> g(pq.mu);
+    base::LockGuard<base::Spinlock> g(pq.mu);
     if (!pq.q.empty()) {
       ring_full_.fetch_add(1, std::memory_order_relaxed);
       pq.q.emplace_back(std::move(m), cookie);
+      pq.count.store(static_cast<std::uint32_t>(pq.q.size()),
+                     std::memory_order_release);
       return false;
     }
   }
 
   Channel& ch = channel(m.h.src_rank, m.h.dst_rank, m.h.dst_vci);
   {
-    std::lock_guard<base::Spinlock> g(ch.mu);
+    base::LockGuard<base::Spinlock> g(ch.mu);
     if (ch.ring.size() < cells_) {
       ch.ring.push_back(std::move(m));
       return true;
     }
   }
   ring_full_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<base::Spinlock> g(pq.mu);
+  base::LockGuard<base::Spinlock> g(pq.mu);
   pq.q.emplace_back(std::move(m), cookie);
+  pq.count.store(static_cast<std::uint32_t>(pq.q.size()),
+                 std::memory_order_release);
   return false;
 }
 
@@ -72,19 +76,25 @@ void ShmTransport::poll(int rank, int vci, transport::TransportSink& sink,
                         int* made_progress) {
   // 1) Retry parked sends from this endpoint (send-side progress).
   Pending& pq = pending(rank, vci);
-  if (!pq.q.empty()) {  // racy hint; re-checked under the lock
+  // Lock-free fast path: `count` mirrors q.size() and is only ever raised
+  // under the lock, so a zero read genuinely means nothing parked (a stale
+  // nonzero just costs one lock acquisition). The old unguarded
+  // `pq.q.empty()` read was a data race on the deque internals.
+  if (pq.count.load(std::memory_order_acquire) != 0) {
     for (;;) {
       std::uint64_t done_cookie = 0;
       {
-        std::lock_guard<base::Spinlock> g(pq.mu);
+        base::LockGuard<base::Spinlock> g(pq.mu);
         if (pq.q.empty()) break;
         auto& [msg, cookie] = pq.q.front();
         Channel& ch = channel(msg.h.src_rank, msg.h.dst_rank, msg.h.dst_vci);
-        std::lock_guard<base::Spinlock> cg(ch.mu);
+        base::LockGuard<base::Spinlock> cg(ch.mu);
         if (ch.ring.size() >= cells_) break;  // still full
         ch.ring.push_back(std::move(msg));
         done_cookie = cookie;
         pq.q.pop_front();
+        pq.count.store(static_cast<std::uint32_t>(pq.q.size()),
+                       std::memory_order_release);
       }
       if (made_progress != nullptr) *made_progress = 1;
       if (done_cookie != 0) sink.on_send_complete(done_cookie);
@@ -97,7 +107,7 @@ void ShmTransport::poll(int rank, int vci, transport::TransportSink& sink,
     for (;;) {
       Msg m;
       {
-        std::lock_guard<base::Spinlock> g(ch.mu);
+        base::LockGuard<base::Spinlock> g(ch.mu);
         if (ch.ring.empty()) break;
         m = std::move(ch.ring.front());
         ch.ring.pop_front();
@@ -112,12 +122,12 @@ void ShmTransport::poll(int rank, int vci, transport::TransportSink& sink,
 bool ShmTransport::idle(int rank, int vci) const {
   {
     const Pending& pq = pending(rank, vci);
-    std::lock_guard<base::Spinlock> g(pq.mu);
+    base::LockGuard<base::Spinlock> g(pq.mu);
     if (!pq.q.empty()) return false;
   }
   for (int src = 0; src < nranks_; ++src) {
     const Channel& ch = channel(src, rank, vci);
-    std::lock_guard<base::Spinlock> g(ch.mu);
+    base::LockGuard<base::Spinlock> g(ch.mu);
     if (!ch.ring.empty()) return false;
   }
   return true;

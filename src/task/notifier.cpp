@@ -12,7 +12,7 @@ void RequestNotifier::watch(Request r, std::function<void(const Status&)> cb) {
   expects(r.valid(), "RequestNotifier::watch: invalid request");
   bool need_hook = false;
   {
-    std::lock_guard<base::Spinlock> g(mu_);
+    base::LockGuard<base::Spinlock> g(mu_);
     entries_.push_back(Entry{std::move(r), std::move(cb)});
     if (!hook_active_) {
       hook_active_ = true;
@@ -25,14 +25,14 @@ void RequestNotifier::watch(Request r, std::function<void(const Status&)> cb) {
 }
 
 std::size_t RequestNotifier::pending() const {
-  std::lock_guard<base::Spinlock> g(mu_);
+  base::LockGuard<base::Spinlock> g(mu_);
   return entries_.size();
 }
 
 void RequestNotifier::drain() {
   for (;;) {
     {
-      std::lock_guard<base::Spinlock> g(mu_);
+      base::LockGuard<base::Spinlock> g(mu_);
       if (!hook_active_) return;
     }
     stream_progress(stream_);
@@ -45,7 +45,7 @@ AsyncResult RequestNotifier::poll() {
   std::vector<Entry> fired;
   bool done = false;
   {
-    std::lock_guard<base::Spinlock> g(mu_);
+    base::LockGuard<base::Spinlock> g(mu_);
     for (std::size_t i = 0; i < entries_.size();) {
       if (entries_[i].req.is_complete()) {
         fired.push_back(std::move(entries_[i]));
@@ -65,7 +65,7 @@ AsyncResult RequestNotifier::poll() {
   }
   if (!fired.empty()) {
     // New watches may have arrived from callbacks; keep the hook if so.
-    std::lock_guard<base::Spinlock> g(mu_);
+    base::LockGuard<base::Spinlock> g(mu_);
     if (entries_.empty()) {
       hook_active_ = false;
       done = true;

@@ -16,7 +16,7 @@ void TaskQueue::push(std::function<bool()> poll) {
   expects(static_cast<bool>(poll), "TaskQueue::push: empty task");
   bool need_hook = false;
   {
-    std::lock_guard<base::Spinlock> g(mu_);
+    base::LockGuard<base::Spinlock> g(mu_);
     q_.push_back(std::move(poll));
     if (!hook_active_) {
       hook_active_ = true;
@@ -29,14 +29,14 @@ void TaskQueue::push(std::function<bool()> poll) {
 }
 
 std::size_t TaskQueue::pending() const {
-  std::lock_guard<base::Spinlock> g(mu_);
+  base::LockGuard<base::Spinlock> g(mu_);
   return q_.size();
 }
 
 void TaskQueue::drain() {
   for (;;) {
     {
-      std::lock_guard<base::Spinlock> g(mu_);
+      base::LockGuard<base::Spinlock> g(mu_);
       if (!hook_active_) return;
     }
     stream_progress(stream_);
@@ -49,7 +49,7 @@ AsyncResult TaskQueue::class_poll() {
   for (;;) {
     std::function<bool()>* head = nullptr;
     {
-      std::lock_guard<base::Spinlock> g(mu_);
+      base::LockGuard<base::Spinlock> g(mu_);
       if (q_.empty()) {
         hook_active_ = false;
         return AsyncResult::done;
@@ -58,7 +58,7 @@ AsyncResult TaskQueue::class_poll() {
     }
     // Run outside the queue lock: the task may push follow-on work.
     if (!(*head)()) return AsyncResult::noprogress;
-    std::lock_guard<base::Spinlock> g(mu_);
+    base::LockGuard<base::Spinlock> g(mu_);
     q_.pop_front();
   }
 }

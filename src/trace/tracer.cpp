@@ -21,7 +21,7 @@ std::string to_string(Event e) {
 }
 
 std::vector<Record> Tracer::snapshot() const {
-  std::lock_guard<base::Spinlock> g(mu_);
+  base::LockGuard<base::Spinlock> g(mu_);
   std::vector<Record> out;
   if (cap_ == 0 || next_ == 0) return out;
   const std::uint64_t n = next_ < cap_ ? next_ : cap_;

@@ -19,6 +19,17 @@ task::Coro await_counter(std::atomic<int>* counter, Stream s, bool* ran) {
   *ran = true;
 }
 
+/// Receive one message and tick a counter. A free function on purpose: a
+/// coroutine-lambda's frame references the *closure object*, so launching
+/// from a loop-local lambda and resuming after it dies is a use-after-scope
+/// (caught by the asan-ubsan preset). Parameters are copied into the frame.
+task::Coro recv_one(Comm c, Stream s, std::int32_t* slot,
+                    std::atomic<int>* finished, int tag) {
+  Request r = c.irecv(slot, 1, dtype::Datatype::int32(), 0, tag);
+  co_await task::completion(r, s);
+  finished->fetch_add(1);
+}
+
 }  // namespace
 
 TEST(Coro, PredicateAwaitResumesInsideProgress) {
@@ -139,13 +150,8 @@ TEST(Coro, ManyCoroutinesInterleaved) {
   std::vector<std::int32_t> vals(kN, -1);
   std::vector<task::Coro> coros;
   for (int i = 0; i < kN; ++i) {
-    auto body = [&, i]() -> task::Coro {
-      Request r = c1.irecv(&vals[static_cast<std::size_t>(i)], 1,
-                           dtype::Datatype::int32(), 0, i);
-      co_await task::completion(r, s1);
-      finished.fetch_add(1);
-    };
-    coros.push_back(body());
+    coros.push_back(recv_one(c1, s1, &vals[static_cast<std::size_t>(i)],
+                             &finished, i));
   }
   Comm c0 = w->comm_world(0);
   for (std::int32_t i = 0; i < kN; ++i) {

@@ -55,7 +55,9 @@ TEST_P(MessageSoup, RandomizedSizesAllDeliveredInOrder) {
   mpx_test::run_ranks(*w, [&](int rank) {
     Comm c = w->comm_world(rank);
     const int n = c.size();
-    std::mt19937 rng(static_cast<unsigned>(rank) * 7919u + 13u);
+    // Deterministic per-rank size choices (payloads are pattern()-derived
+    // from (src, dst, m), so only sizes come from the rng).
+    std::mt19937 rng = mpx_test::rank_rng(/*salt=*/0x1096u, rank);
     // Sizes straddling every threshold (elements of int32).
     const std::size_t sizes[] = {0,  1,   17,  32,  257,  512,
                                  600, 1500, 4096, 8192, 20000};

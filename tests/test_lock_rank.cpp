@@ -1,0 +1,152 @@
+// Tests for the runtime lock-rank validator (base/lock_rank.hpp): the
+// debug-build deadlock detector behind the VCI < stream < task_queue <
+// transport hierarchy. Violations must abort with BOTH lock names in the
+// report so the death tests below pin the message format.
+#include <gtest/gtest.h>
+
+#include "mpx/base/instrumented_mutex.hpp"
+#include "mpx/base/lock_rank.hpp"
+#include "mpx/base/spinlock.hpp"
+#include "mpx/base/thread_safety.hpp"
+
+using mpx::base::InstrumentedMutex;
+using mpx::base::LockRank;
+using mpx::base::Spinlock;
+namespace lock_rank = mpx::base::lock_rank;
+
+#if MPX_LOCK_RANK_CHECKS
+
+namespace {
+
+/// Force the validator on regardless of MPX_LOCK_RANK in the environment.
+struct ValidatorOn {
+  ValidatorOn() { lock_rank::set_enabled(true); }
+};
+
+}  // namespace
+
+TEST(LockRank, OrderedAcquisitionIsAccepted) {
+  ValidatorOn on;
+  InstrumentedMutex vci{"vci", LockRank::vci};
+  InstrumentedMutex table{"vci-table", LockRank::stream};
+  Spinlock tq{"task:queue", LockRank::task_queue};
+  Spinlock xport{"shm:pending", LockRank::transport};
+  Spinlock chan{"shm:channel", LockRank::transport_channel};
+
+  vci.lock();
+  table.lock();
+  tq.lock();
+  xport.lock();
+  chan.lock();
+  EXPECT_EQ(lock_rank::held_count(), 5u);
+  chan.unlock();
+  xport.unlock();
+  tq.unlock();
+  table.unlock();
+  vci.unlock();
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+}
+
+TEST(LockRank, RecursiveSameLockIsAccepted) {
+  ValidatorOn on;
+  InstrumentedMutex vci{"vci", LockRank::vci};
+  vci.lock();
+  vci.lock();  // recursive re-entry: progress from inside a poll callback
+  EXPECT_EQ(lock_rank::held_count(), 2u);
+  vci.unlock();
+  vci.unlock();
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+}
+
+TEST(LockRank, SkippingRanksIsAccepted) {
+  ValidatorOn on;
+  // The hierarchy is a total order, not a chain: vci -> transport without
+  // the middle ranks is fine (progress_test -> shm poll does exactly this).
+  InstrumentedMutex vci{"vci", LockRank::vci};
+  Spinlock xport{"net:channel", LockRank::transport};
+  vci.lock();
+  xport.lock();
+  xport.unlock();
+  vci.unlock();
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+}
+
+TEST(LockRankDeathTest, TransportBeforeVciAborts) {
+  ValidatorOn on;
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Spinlock xport{"shm:pending", LockRank::transport};
+  InstrumentedMutex vci{"vci", LockRank::vci};
+  // The report must name BOTH locks: the one being acquired and the
+  // higher-ranked one already held.
+  EXPECT_DEATH(
+      {
+        xport.lock();
+        vci.lock();
+      },
+      "acquiring lock \"vci\".*while holding lock[[:space:]]*\"shm:pending\"");
+}
+
+TEST(LockRankDeathTest, EqualRankCrossLockAborts) {
+  ValidatorOn on;
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Two distinct VCI locks: ranks must STRICTLY increase, so locking a
+  // second rank-vci mutex while one is held is an inversion (it is exactly
+  // the two-threads-opposite-order deadlock).
+  InstrumentedMutex a{"vci", LockRank::vci};
+  InstrumentedMutex b{"vci", LockRank::vci};
+  EXPECT_DEATH(
+      {
+        a.lock();
+        b.lock();
+      },
+      "lock-rank violation");
+}
+
+TEST(LockRankDeathTest, TryLockHoldParticipatesInOrdering) {
+  ValidatorOn on;
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Spinlock xport{"net:cq", LockRank::transport};
+  InstrumentedMutex vci{"vci", LockRank::vci};
+  // try_lock itself is exempt from the order check (it cannot deadlock),
+  // but a lock it acquires is held for ordering purposes afterwards.
+  EXPECT_DEATH(
+      {
+        if (xport.try_lock()) vci.lock();
+      },
+      "acquiring lock \"vci\".*while holding lock[[:space:]]*\"net:cq\"");
+}
+
+TEST(LockRank, KillSwitchDisablesValidation) {
+  lock_rank::set_enabled(false);
+  Spinlock xport{"shm:pending", LockRank::transport};
+  InstrumentedMutex vci{"vci", LockRank::vci};
+  xport.lock();
+  vci.lock();  // inversion, but validation is off: must not abort
+  vci.unlock();
+  xport.unlock();
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+  lock_rank::set_enabled(true);
+}
+
+TEST(LockRank, UnrankedLocksAreInvisible) {
+  ValidatorOn on;
+  InstrumentedMutex plain;  // default: LockRank::none
+  Spinlock spin;
+  plain.lock();
+  spin.lock();
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+  spin.unlock();
+  plain.unlock();
+}
+
+#else  // !MPX_LOCK_RANK_CHECKS
+
+TEST(LockRank, CompiledOut) {
+  // With MPX_LOCK_RANK_CHECKS=0 the hooks are inline no-ops.
+  InstrumentedMutex vci{"vci", LockRank::vci};
+  vci.lock();
+  vci.unlock();
+  EXPECT_EQ(lock_rank::held_count(), 0u);
+}
+
+#endif  // MPX_LOCK_RANK_CHECKS

@@ -32,7 +32,8 @@ TEST(Soak, RandomMixedWorkload) {
       Comm c = w->comm_world(rank);
       const Stream s = c.stream();
       ASSERT_EQ(c.size(), 4);
-      std::mt19937 rng(static_cast<unsigned>(rank) * 31337u + 5u);
+      // Deterministic per-rank stream: reruns replay the exact workload.
+      std::mt19937 rng = mpx_test::rank_rng(/*salt=*/0x50a1u, rank);
 
       // A background async hook alive for the whole run.
       std::atomic<bool> stop{false};

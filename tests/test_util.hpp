@@ -1,13 +1,33 @@
 // Shared helpers for the test suite.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <random>
 #include <vector>
 
 #include "mpx/base/thread.hpp"
 #include "mpx/mpx.hpp"
 
 namespace mpx_test {
+
+/// Deterministic, decorrelated per-rank/per-thread RNG seeding for tests.
+/// Tests must reproduce bit-for-bit across runs (no std::random_device),
+/// and adjacent raw seeds leave mt19937 streams briefly correlated, so the
+/// (salt, rank) coordinates are scrambled splitmix64-style first.
+inline std::uint64_t mix_seed(std::uint64_t salt, std::uint64_t rank) {
+  std::uint64_t z = 0x9e3779b97f4a7c15ull + salt * 0xbf58476d1ce4e5b9ull +
+                    rank * 0x94d049bb133111ebull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// mt19937 seeded deterministically for (test salt, rank).
+inline std::mt19937 rank_rng(std::uint64_t salt, int rank) {
+  return std::mt19937{static_cast<std::mt19937::result_type>(
+      mix_seed(salt, static_cast<std::uint64_t>(rank)))};
+}
 
 /// Run `body(rank)` on one thread per rank of `world` and join them all.
 /// Exceptions propagate: the first rank's exception is rethrown.
