@@ -8,13 +8,48 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
 #include <random>
+#include <utility>
 
 #include "mpx/base/stats.hpp"
 #include "mpx/mpx.hpp"
 #include "mpx/task/deadline.hpp"
 
 namespace mpx_bench {
+
+/// True when the harness should run a reduced iteration count (CI smoke
+/// runs: `MPX_BENCH_SMOKE=1`). Trajectory capture wants the same bench
+/// shape, just cheaper.
+inline bool smoke_run() {
+  const char* v = std::getenv("MPX_BENCH_SMOKE");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+/// Append one record to the machine-readable perf-trajectory file.
+///
+/// Records are JSON Lines (one object per line) so several bench binaries
+/// can append to the same file without coordinating. Default file:
+/// BENCH_pr2.json in the working directory; override with MPX_BENCH_JSON;
+/// set MPX_BENCH_JSON=off to disable emission.
+inline void json_emit(
+    const char* bench, const char* variant,
+    std::initializer_list<std::pair<const char*, double>> metrics) {
+  const char* path = std::getenv("MPX_BENCH_JSON");
+  if (path != nullptr && std::strcmp(path, "off") == 0) return;
+  if (path == nullptr || *path == '\0') path = "BENCH_pr2.json";
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\"bench\":\"%s\",\"variant\":\"%s\"", bench, variant);
+  for (const auto& [key, value] : metrics) {
+    std::fprintf(f, ",\"%s\":%.6g", key, value);
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
 
 /// Deterministic, decorrelated per-thread seeding. Benchmarks must be
 /// reproducible run-to-run (no std::random_device), but adjacent raw seeds

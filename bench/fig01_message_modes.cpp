@@ -13,8 +13,10 @@
 //
 // Both sides progress continuously, so the numbers isolate protocol
 // structure rather than progress starvation (fig04 covers that).
+#include <chrono>
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "mpx/mpx.hpp"
 
 namespace {
@@ -62,6 +64,27 @@ ModeResult run_mode(std::size_t bytes) {
   return r;
 }
 
+/// Wall-clock cost of the software datapath: shared-memory eager ping-pong
+/// on a real clock (the shm path has no simulated wire delay, so this
+/// isolates allocator + matching overhead per message).
+double run_wall_shm(std::size_t bytes, int iters) {
+  auto w = World::create(WorldConfig{.nranks = 2});
+  std::vector<std::byte> src(bytes), dst(bytes);
+  Comm c0 = w->comm_world(0);
+  Comm c1 = w->comm_world(1);
+  auto cycle = [&] {
+    Request s = c0.isend(src.data(), bytes, dtype::Datatype::byte(), 1, 0);
+    c1.recv(dst.data(), bytes, dtype::Datatype::byte(), 0, 0);
+    while (!s.is_complete()) stream_progress(w->null_stream(0));
+  };
+  for (int i = 0; i < iters / 10 + 1; ++i) cycle();  // warm-up
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) cycle();
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  return dt.count() * 1e6 / iters;
+}
+
 }  // namespace
 
 int main() {
@@ -76,6 +99,28 @@ int main() {
     std::printf("%12zu %16s %14.1f %14.1f %10llu\n", bytes, r.proto,
                 r.send_done_us, r.recv_done_us,
                 static_cast<unsigned long long>(r.wire_msgs));
+    char variant[32];
+    std::snprintf(variant, sizeof variant, "sim_%zub", bytes);
+    mpx_bench::json_emit("fig01_message_modes", variant,
+                         {{"bytes", static_cast<double>(bytes)},
+                          {"send_done_us", r.send_done_us},
+                          {"recv_done_us", r.recv_done_us},
+                          {"wire_msgs", static_cast<double>(r.wire_msgs)}});
+  }
+
+  const int iters = mpx_bench::smoke_run() ? 500 : 5000;
+  std::printf("\nWall-clock shm eager ping-pong (software datapath cost)\n"
+              "%12s %14s\n", "bytes", "wall_us_msg");
+  for (std::size_t bytes : {std::size_t{8}, std::size_t{256},
+                            std::size_t{4 * 1024}, std::size_t{32 * 1024}}) {
+    const double us = run_wall_shm(bytes, iters);
+    std::printf("%12zu %14.3f\n", bytes, us);
+    char variant[32];
+    std::snprintf(variant, sizeof variant, "wall_shm_%zub", bytes);
+    mpx_bench::json_emit("fig01_message_modes", variant,
+                         {{"bytes", static_cast<double>(bytes)},
+                          {"wall_us_msg", us},
+                          {"iters", static_cast<double>(iters)}});
   }
   return 0;
 }

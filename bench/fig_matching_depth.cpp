@@ -1,0 +1,134 @@
+// Matching-engine scaling: per-message latency as a function of match-queue
+// depth. Two scenarios, both on the shared-memory eager path (2-rank ping
+// with decoy entries that never match):
+//
+//   posted     — D decoy receives are pre-posted on the receiver (spread
+//                round-robin over many source ranks, tag DECOY_TAG which is
+//                never sent). Each measured message then arrives and must
+//                find its posted receive. A linear matcher scans all D
+//                decoys per arrival; per-(context,source) bins touch only
+//                the arrival's own bin.
+//   unexpected — D decoy messages are parked in the receiver's unexpected
+//                queue before each measured receive is posted, so irecv
+//                must search the unexpected store.
+//
+// A `samebin` variant puts every decoy on the measured message's own
+// (context, source) channel — the honest worst case where binning cannot
+// help and the within-bin scan is still linear.
+//
+// Emits JSON-lines records into BENCH_pr2.json (see bench_util.hpp).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mpx/mpx.hpp"
+
+namespace {
+
+using namespace mpx;
+
+constexpr int kDecoyTag = 999;  // never sent
+constexpr int kPingTag = 1;
+
+/// Ranks: 0 = receiver, 1 = ping sender, 2..nranks-1 = decoy sources.
+constexpr int kRanks = 18;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Scenario {
+  const char* name;
+  bool unexpected;  ///< decoys (and probes) exercise the unexpected queue
+  bool samebin;     ///< decoys all on the measured (context, src) channel
+};
+
+/// One measurement: mean microseconds per matched message at decoy depth D.
+double run_depth(const Scenario& sc, int depth, int iters) {
+  auto w = World::create(WorldConfig{.nranks = kRanks});
+  Comm recv_comm = w->comm_world(0);
+  std::vector<std::int32_t> decoy_payload(1, -1);
+
+  std::vector<Request> decoys;
+  decoys.reserve(static_cast<std::size_t>(depth));
+  std::vector<std::int32_t> sink(static_cast<std::size_t>(depth), 0);
+  if (sc.unexpected) {
+    // Park D unmatched messages in rank 0's unexpected queue.
+    for (int i = 0; i < depth; ++i) {
+      const int src = sc.samebin ? 1 : 2 + i % (kRanks - 2);
+      w->comm_world(src).isend(&decoy_payload[0], 1,
+                               dtype::Datatype::int32(), 0, kDecoyTag);
+    }
+    // Drain arrivals into the unexpected store.
+    for (int i = 0; i < depth + 8; ++i) stream_progress(w->null_stream(0));
+  } else {
+    // Pre-post D receives that never match the measured traffic.
+    for (int i = 0; i < depth; ++i) {
+      const int src = sc.samebin ? 1 : 2 + i % (kRanks - 2);
+      decoys.push_back(recv_comm.irecv(&sink[static_cast<std::size_t>(i)], 1,
+                                       dtype::Datatype::int32(), src,
+                                       kDecoyTag));
+    }
+  }
+
+  Comm send_comm = w->comm_world(1);
+  std::int32_t in = 0, out = 0;
+  // Warm up one round (pools, ring laziness) before timing.
+  for (int i = 0; i < iters / 10 + 1; ++i) {
+    send_comm.isend(&out, 1, dtype::Datatype::int32(), 0, kPingTag);
+    recv_comm.recv(&in, 1, dtype::Datatype::int32(), 1, kPingTag);
+  }
+  const double t0 = now_s();
+  if (sc.unexpected) {
+    for (int i = 0; i < iters; ++i) {
+      // Land the message in the unexpected queue first, then post the recv.
+      send_comm.isend(&out, 1, dtype::Datatype::int32(), 0, kPingTag);
+      stream_progress(w->null_stream(0));
+      recv_comm.recv(&in, 1, dtype::Datatype::int32(), 1, kPingTag);
+    }
+  } else {
+    for (int i = 0; i < iters; ++i) {
+      Request r =
+          recv_comm.irecv(&in, 1, dtype::Datatype::int32(), 1, kPingTag);
+      send_comm.isend(&out, 1, dtype::Datatype::int32(), 0, kPingTag);
+      while (!r.is_complete()) stream_progress(w->null_stream(0));
+    }
+  }
+  const double us = (now_s() - t0) * 1e6 / iters;
+  for (Request& d : decoys) d.cancel();
+  return us;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = mpx_bench::smoke_run();
+  const int iters = smoke ? 300 : 3000;
+  std::vector<int> depths{0, 16, 64, 256, 1024};
+  if (!smoke) depths.push_back(4096);
+
+  const Scenario scenarios[] = {
+      {"posted", false, false},
+      {"posted_samebin", false, true},
+      {"unexpected", true, false},
+  };
+  std::printf("fig_matching_depth: per-message latency vs match-queue depth\n"
+              "%18s %8s %12s\n",
+              "scenario", "depth", "us_per_msg");
+  for (const Scenario& sc : scenarios) {
+    for (int d : depths) {
+      const double us = run_depth(sc, d, iters);
+      std::printf("%18s %8d %12.3f\n", sc.name, d, us);
+      char variant[64];
+      std::snprintf(variant, sizeof variant, "%s_depth%d", sc.name, d);
+      mpx_bench::json_emit("fig_matching_depth", variant,
+                           {{"depth", static_cast<double>(d)},
+                            {"us_per_msg", us},
+                            {"iters", static_cast<double>(iters)}});
+    }
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <utility>
 
 namespace mpx::base {
 
@@ -25,11 +26,21 @@ ByteSpan as_writable_bytes(T* p, std::size_t count) {
 }
 
 /// Movable heap byte buffer; used for eager-message envelopes and staging.
+/// Storage normally comes from new[]/delete[], but a buffer can adopt
+/// externally-allocated storage with a custom deleter — the hook the
+/// payload pool (base/pool.hpp) uses to recycle eager-message blocks.
 class Buffer {
  public:
+  /// Custom release hook: invoked as del(data, size) on destruction.
+  using Deleter = void (*)(std::byte*, std::size_t) noexcept;
+
   Buffer() = default;
   explicit Buffer(std::size_t n)
-      : data_(n != 0 ? std::make_unique<std::byte[]>(n) : nullptr), size_(n) {}
+      : data_(n != 0 ? new std::byte[n] : nullptr), size_(n) {}
+
+  /// Adopt `adopted` (released via `del(adopted, n)`; nullptr = delete[]).
+  Buffer(std::byte* adopted, std::size_t n, Deleter del)
+      : data_(adopted), size_(n), del_(del) {}
 
   /// Allocate and copy from `src`.
   static Buffer copy_of(ConstByteSpan src) {
@@ -38,20 +49,43 @@ class Buffer {
     return b;
   }
 
-  Buffer(Buffer&&) = default;
-  Buffer& operator=(Buffer&&) = default;
+  Buffer(Buffer&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)),
+        del_(std::exchange(o.del_, nullptr)) {}
+  Buffer& operator=(Buffer&& o) noexcept {
+    std::swap(data_, o.data_);
+    std::swap(size_, o.size_);
+    std::swap(del_, o.del_);
+    return *this;
+  }
+  ~Buffer() { reset(); }
 
-  std::byte* data() { return data_.get(); }
-  const std::byte* data() const { return data_.get(); }
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  ByteSpan span() { return ByteSpan(data_.get(), size_); }
-  ConstByteSpan span() const { return ConstByteSpan(data_.get(), size_); }
+  ByteSpan span() { return ByteSpan(data_, size_); }
+  ConstByteSpan span() const { return ConstByteSpan(data_, size_); }
 
  private:
-  std::unique_ptr<std::byte[]> data_;
+  void reset() {
+    if (data_ != nullptr) {
+      if (del_ != nullptr) {
+        del_(data_, size_);
+      } else {
+        delete[] data_;
+      }
+    }
+    data_ = nullptr;
+    size_ = 0;
+    del_ = nullptr;
+  }
+
+  std::byte* data_ = nullptr;
   std::size_t size_ = 0;
+  Deleter del_ = nullptr;
 };
 
 }  // namespace mpx::base

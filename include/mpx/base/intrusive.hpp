@@ -161,6 +161,21 @@ class IntrusiveList {
     other.size_ = 0;
   }
 
+  /// Visit elements in order until the visitor returns true (early exit).
+  /// Returns the element the visitor stopped on, or nullptr when the
+  /// visitor declined every element. The visitor must not mutate the list;
+  /// erase the returned element after the call if needed. This is the
+  /// matching-scan primitive: a bin scan stops at the first hit instead of
+  /// walking the whole queue.
+  template <class F>
+  T* for_each_until(F&& f) const {
+    for (ListHook* it = head_.next; it != &head_; it = it->next) {
+      T* e = owner(it);
+      if (f(e)) return e;
+    }
+    return nullptr;
+  }
+
   /// Visit elements in order; the visitor may erase the *current* element.
   template <class F>
   void for_each_safe(F&& f) {

@@ -1,16 +1,63 @@
 // mpx/base/pool.hpp
 //
-// Freelist object pool. Transports allocate packet/envelope objects at high
-// rate; the pool recycles them without hitting the global allocator. Not
-// thread-safe by itself — each VCI owns its own pools.
+// Freelist object pools for the datapath. The point-to-point hot path
+// allocates a RequestImpl per operation, an UnexpMsg per early arrival, an
+// AsyncThing per hook, and a payload buffer per eager message; recycling
+// them through freelists removes the global allocator from the per-message
+// cost (MPICH ships the same design: CH4 request pools and cell pools).
+//
+// Three shapes:
+//   - ObjectPool<T>      : unique_ptr-based recycler (legacy; transports).
+//   - FreelistPool<T>    : typed freelist of raw storage, NOT thread-safe;
+//                          per-VCI pools guarded by the VCI lock.
+//   - FixedBlockPool     : spinlock-guarded raw-block freelist for
+//                          class-level operator new/delete overloads whose
+//                          release site crosses threads (refcounted
+//                          requests, async hooks).
+//   - PayloadPool        : spinlock-guarded power-of-two size-class pool
+//                          behind pooled_buffer()/pooled_copy(); eager
+//                          payloads are allocated under the sender's VCI
+//                          and freed under the receiver's, so the pool is
+//                          process-wide and thread-safe.
+//
+// SANITIZERS. Freelist reuse would blind AddressSanitizer to lifetime bugs
+// (a use-after-release lands in recycled, still-mapped storage), so under
+// ASan every pool degrades to plain operator new/delete per acquire —
+// stats still count, the allocator sees every lifetime. MPX_POOL_DISABLE=1
+// forces the same passthrough at runtime. TSan keeps pooling enabled: pool
+// access is lock-guarded, and racy reuse is exactly what it should see.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <new>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "mpx/base/buffer.hpp"
+#include "mpx/base/spinlock.hpp"
+#include "mpx/base/stats.hpp"
+#include "mpx/base/thread_safety.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MPX_POOL_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MPX_POOL_ASAN 1
+#endif
+#endif
+#ifndef MPX_POOL_ASAN
+#define MPX_POOL_ASAN 0
+#endif
+
 namespace mpx::base {
+
+/// True when pools must pass every acquire/release through the global
+/// allocator: compiled under ASan, or MPX_POOL_DISABLE=1 in the
+/// environment (read once).
+bool pool_passthrough();
 
 /// Recycling pool of default-constructible T. acquire() reuses a released
 /// object when available. Objects are reset by the caller.
@@ -23,22 +70,200 @@ class ObjectPool {
     if (!free_.empty()) {
       std::unique_ptr<T> p = std::move(free_.back());
       free_.pop_back();
+      ++live_;
       return p;
     }
     ++allocated_;
+    ++live_;
     return std::make_unique<T>();
   }
 
   void release(std::unique_ptr<T> p) {
-    if (p != nullptr) free_.push_back(std::move(p));
+    if (p != nullptr) {
+      --live_;
+      free_.push_back(std::move(p));
+    }
   }
 
+  /// Cumulative constructions (NOT live objects — see live()).
   std::size_t total_allocated() const { return allocated_; }
+  /// Objects currently handed out (acquired and not yet released).
+  std::size_t live() const { return live_; }
+  /// Objects owned by the pool in total: live + parked on the freelist.
+  std::size_t capacity() const { return live_ + free_.size(); }
   std::size_t free_count() const { return free_.size(); }
 
  private:
   std::vector<std::unique_ptr<T>> free_;
   std::size_t allocated_ = 0;
+  std::size_t live_ = 0;
 };
+
+/// Typed freelist pool: acquire() placement-constructs T on recycled
+/// storage, release() destroys and parks the storage (up to `max_free`
+/// blocks; beyond that the storage is freed). NOT thread-safe — each VCI
+/// owns its pools and guards them with its lock. Parked storage is freed
+/// by the destructor (the Vci teardown drain path).
+template <class T>
+class FreelistPool {
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "FreelistPool: over-aligned T not supported");
+
+ public:
+  explicit FreelistPool(std::size_t max_free = 256) : max_free_(max_free) {}
+  FreelistPool(const FreelistPool&) = delete;
+  FreelistPool& operator=(const FreelistPool&) = delete;
+  ~FreelistPool() { drain(); }
+
+  /// Retune the parked-block cap (used by owners configured after
+  /// construction, e.g. a Vci sized from WorldConfig).
+  void set_max_free(std::size_t m) { max_free_ = m; }
+
+  template <class... Args>
+  T* acquire(Args&&... args) {
+    ++st_.live;
+    if (free_ != nullptr && !pool_passthrough()) {
+      Node* n = free_;
+      free_ = n->next;
+      --st_.free_count;
+      ++st_.hits;
+      return ::new (static_cast<void*>(n)) T(std::forward<Args>(args)...);
+    }
+    ++st_.misses;
+    return ::new (::operator new(storage_size())) T(std::forward<Args>(args)...);
+  }
+
+  void release(T* p) {
+    if (p == nullptr) return;
+    p->~T();
+    --st_.live;
+    if (st_.free_count < max_free_ && !pool_passthrough()) {
+      Node* n = ::new (static_cast<void*>(p)) Node{free_};
+      free_ = n;
+      ++st_.free_count;
+      return;
+    }
+    ++st_.overflow;
+    ::operator delete(static_cast<void*>(p));
+  }
+
+  /// Free all parked storage (live objects are unaffected).
+  void drain() {
+    while (free_ != nullptr) {
+      Node* n = free_;
+      free_ = n->next;
+      ::operator delete(static_cast<void*>(n));
+    }
+    st_.free_count = 0;
+  }
+
+  PoolStats stats() const { return st_; }
+
+ private:
+  struct Node {
+    Node* next;
+  };
+  static constexpr std::size_t storage_size() {
+    return sizeof(T) > sizeof(Node) ? sizeof(T) : sizeof(Node);
+  }
+
+  Node* free_ = nullptr;
+  std::size_t max_free_;
+  PoolStats st_;
+};
+
+/// Spinlock-guarded freelist of fixed-size raw blocks, for class-level
+/// operator new/delete overloads (allocation and release may happen on
+/// different threads). Intended for static-storage pools; registers itself
+/// in the process-wide pool registry under `name`.
+class FixedBlockPool {
+ public:
+  FixedBlockPool(const char* name, std::size_t block_size,
+                 std::size_t max_free);
+  FixedBlockPool(const FixedBlockPool&) = delete;
+  FixedBlockPool& operator=(const FixedBlockPool&) = delete;
+  ~FixedBlockPool();
+
+  void* allocate(std::size_t n);
+  void deallocate(void* p) noexcept;
+
+  const char* name() const { return name_; }
+  PoolStats stats() const;
+
+ private:
+  struct Node {
+    Node* next;
+  };
+
+  const char* name_;
+  std::size_t block_size_;
+  std::size_t max_free_;
+  mutable Spinlock mu_;
+  Node* free_ MPX_GUARDED_BY(mu_) = nullptr;
+  PoolStats st_ MPX_GUARDED_BY(mu_);
+};
+
+/// Power-of-two size-class pool behind pooled payload buffers. Blocks up
+/// to max_block() bytes are recycled per class; larger requests fall
+/// through to the allocator. Thread-safe (one spinlock per class).
+class PayloadPool {
+ public:
+  static PayloadPool& instance();
+
+  /// Raw-block interface; `n` is the caller's requested byte count. The
+  /// class is derived from `n`, so release() must receive the same `n`.
+  std::byte* allocate(std::size_t n);
+  void release(std::byte* p, std::size_t n) noexcept;
+
+  std::size_t max_block() const { return max_block_; }
+  PoolStats stats() const;
+
+ private:
+  PayloadPool();
+  ~PayloadPool();
+
+  static constexpr std::size_t kMinBlock = 64;
+  static constexpr std::size_t kClasses = 11;  // 64 B .. 64 KiB
+
+  struct Node {
+    Node* next;
+  };
+  struct SizeClass {
+    mutable Spinlock mu;
+    Node* free MPX_GUARDED_BY(mu) = nullptr;
+    PoolStats st MPX_GUARDED_BY(mu);
+  };
+
+  static std::size_t class_of(std::size_t n);
+  static std::size_t class_bytes(std::size_t cls) { return kMinBlock << cls; }
+
+  std::size_t max_block_;
+  std::size_t max_free_per_class_;
+  SizeClass classes_[kClasses];
+};
+
+/// A Buffer of `n` bytes whose storage is recycled through the payload
+/// pool when `n` fits a size class (plain new[] storage otherwise).
+Buffer pooled_buffer(std::size_t n);
+
+/// pooled_buffer(src.size()) plus a copy of `src`.
+Buffer pooled_copy(ConstByteSpan src);
+
+/// One registry row: pool name plus a snapshot of its counters.
+struct NamedPoolStats {
+  std::string name;
+  PoolStats stats;
+};
+
+/// Snapshot every registered process-wide pool (request, async-thing,
+/// payload). Per-VCI pools are reported through World accessors instead —
+/// they live and die with their VCI.
+std::vector<NamedPoolStats> pool_registry_snapshot();
+
+namespace pool_detail {
+void register_pool(const char* name, PoolStats (*fn)(const void*),
+                   const void* self);
+void unregister_pool(const void* self);
+}  // namespace pool_detail
 
 }  // namespace mpx::base

@@ -49,6 +49,20 @@ class LatencyRecorder {
   std::vector<double> samples_;  // seconds
 };
 
+/// Counters of one freelist pool (base/pool.hpp), InstrumentedMutex-style:
+/// read them to see whether the hot path is actually recycling. An acquire
+/// served from the freelist is a `hit`; one that fell through to the global
+/// allocator is a `miss`. `overflow` counts releases dropped to the
+/// allocator because the freelist was at capacity (cap too small), `live`
+/// is objects currently handed out, and `free_count` is parked storage.
+struct PoolStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t overflow = 0;
+  std::size_t live = 0;
+  std::size_t free_count = 0;
+};
+
 /// Streaming mean/variance (Welford) for cheap single-threaded accumulation.
 class MeanAccumulator {
  public:

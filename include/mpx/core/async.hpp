@@ -21,7 +21,9 @@
 #include <functional>
 #include <vector>
 
+#include "mpx/base/cvar.hpp"
 #include "mpx/base/intrusive.hpp"
+#include "mpx/base/pool.hpp"
 #include "mpx/core/stream.hpp"
 
 namespace mpx {
@@ -56,6 +58,13 @@ class AsyncThing {
   /// and processed after the current poll_fn returns.
   void spawn(AsyncPollFn fn, void* extra_state, const Stream& stream);
 
+  /// One AsyncThing is allocated per registered hook; storage is recycled
+  /// through a process-wide pool. The pool is thread-safe (not per-VCI)
+  /// because things are allocated on the registering thread but freed by
+  /// whichever thread polls the target VCI.
+  static void* operator new(std::size_t n);
+  static void operator delete(void* p) noexcept;
+
  private:
   friend struct core_detail::AsyncRuntime;
   AsyncThing() = default;
@@ -74,6 +83,25 @@ class AsyncThing {
   std::vector<SpawnRec> spawned_;
   base::ListHook hook_;
 };
+
+namespace core_detail {
+/// Process-wide storage pool behind AsyncThing::operator new/delete
+/// (capacity: MPX_POOL_ASYNC_CAP parked blocks).
+inline base::FixedBlockPool& async_thing_pool() {
+  static base::FixedBlockPool pool(
+      "async-thing", sizeof(AsyncThing),
+      static_cast<std::size_t>(base::cvar_int("MPX_POOL_ASYNC_CAP", 1024)));
+  return pool;
+}
+}  // namespace core_detail
+
+inline void* AsyncThing::operator new(std::size_t n) {
+  return core_detail::async_thing_pool().allocate(n);
+}
+
+inline void AsyncThing::operator delete(void* p) noexcept {
+  core_detail::async_thing_pool().deallocate(p);
+}
 
 /// MPIX_Async_start: attach a user progress hook to `stream`.
 void async_start(AsyncPollFn fn, void* extra_state, const Stream& stream);

@@ -48,6 +48,15 @@ struct WorldConfig {
   /// Protocol-trace ring capacity (records). 0 disables tracing.
   std::size_t trace_capacity = 0;
 
+  /// Message-matching bins per VCI (rounded up to a power of two). Posted
+  /// receives and unexpected messages are hashed by (context, source); 1
+  /// degenerates to the seed's single linear queue. CVAR: MPX_MATCH_BINS.
+  int match_bins = 64;
+
+  /// Parked-block cap of each VCI's unexpected-message freelist.
+  /// CVAR: MPX_POOL_UNEXP_CAP.
+  int pool_unexp_cap = 256;
+
   /// Construct a config with defaults taken from MPX_* environment CVARs.
   static WorldConfig from_env(int nranks);
 };

@@ -35,7 +35,9 @@
 #include <memory>
 
 #include "mpx/base/buffer.hpp"
+#include "mpx/base/cvar.hpp"
 #include "mpx/base/intrusive.hpp"
+#include "mpx/base/pool.hpp"
 #include "mpx/base/status.hpp"
 #include "mpx/dtype/datatype.hpp"
 #include "mpx/dtype/segment.hpp"
@@ -84,6 +86,14 @@ struct RequestImpl : base::RefCounted {
   explicit RequestImpl(ReqKind k) : kind(k) { live_count().fetch_add(1); }
   ~RequestImpl() { live_count().fetch_sub(1); }
 
+  /// Requests are the hot currency of the datapath: storage is recycled
+  /// through a process-wide freelist (declared below). The pool is global,
+  /// not per-VCI, because the last reference to a refcounted request can
+  /// drop on any thread (a user thread destroying a Request handle), not
+  /// just under the owning VCI's lock.
+  static void* operator new(std::size_t n);
+  static void operator delete(void* p) noexcept;
+
   /// Number of RequestImpl objects currently alive in the process. Tests
   /// assert this returns to its baseline after workloads — the tripwire for
   /// protocol reference-count leaks.
@@ -98,11 +108,16 @@ struct RequestImpl : base::RefCounted {
   std::atomic<bool> complete{false};
   Status status;
 
-  // --- matching (posted receives live on the VCI's posted list) ---
+  // --- matching (posted receives live in the VCI's matching bins) ---
   base::ListHook match_hook;
   std::int32_t context_id = 0;
   std::int32_t match_src = -1;  ///< world rank or any_source (-1)
   std::int32_t match_tag = -1;  ///< tag or any_tag (-1)
+  /// Per-VCI post order, assigned when the receive enters the matcher;
+  /// orders a bin candidate against a wildcard candidate (exact MPI FIFO).
+  std::uint64_t match_seq = 0;
+  /// Bin index this receive is filed under; -1 = the wildcard list.
+  std::int32_t match_bin = -1;
 
   // --- user buffer ---
   void* buf = nullptr;
@@ -148,6 +163,24 @@ struct RequestImpl : base::RefCounted {
 
   bool cancelled = false;
 };
+
+/// Process-wide storage pool behind RequestImpl::operator new/delete.
+/// Capacity (parked blocks) is MPX_POOL_REQUEST_CAP; under ASan or
+/// MPX_POOL_DISABLE=1 every block passes through the global allocator.
+inline base::FixedBlockPool& request_pool() {
+  static base::FixedBlockPool pool(
+      "request", sizeof(RequestImpl),
+      static_cast<std::size_t>(base::cvar_int("MPX_POOL_REQUEST_CAP", 1024)));
+  return pool;
+}
+
+inline void* RequestImpl::operator new(std::size_t n) {
+  return request_pool().allocate(n);
+}
+
+inline void RequestImpl::operator delete(void* p) noexcept {
+  request_pool().deallocate(p);
+}
 
 /// Take an extra reference for in-flight protocol state and encode it as a
 /// wire cookie.

@@ -10,6 +10,7 @@
 
 #include "mpx/base/clock.hpp"
 #include "mpx/base/instrumented_mutex.hpp"
+#include "mpx/base/stats.hpp"
 #include "mpx/core/comm.hpp"
 #include "mpx/core/config.hpp"
 #include "mpx/core/info.hpp"
@@ -95,6 +96,21 @@ class World : public std::enable_shared_from_this<World> {
     std::uint64_t net = 0;
   };
   StageCounters vci_stage_counters(int rank, int vci) const;
+
+  /// Matching-engine depths of (rank, vci): pending posted receives and
+  /// parked unexpected messages (test/bench observability; takes the VCI
+  /// lock).
+  struct MatchCounters {
+    std::size_t posted = 0;
+    std::size_t unexpected = 0;
+  };
+  MatchCounters vci_match_counters(int rank, int vci) const;
+
+  /// Counters of (rank, vci)'s unexpected-message freelist. Process-wide
+  /// pools (request, async-thing, payload) are reported through
+  /// base::pool_registry_snapshot() instead.
+  base::PoolStats vci_unexp_pool_stats(int rank, int vci) const;
+
   shm::ShmStats shm_stats() const;
   net::NicStats net_stats() const;
 

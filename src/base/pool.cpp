@@ -1,0 +1,252 @@
+// Process-wide pool machinery: the passthrough switch, the thread-safe
+// fixed-block and payload pools, and the stats registry. Pool capacities
+// come from MPX_POOL_* cvars, read once at pool construction.
+#include "mpx/base/pool.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "mpx/base/cvar.hpp"
+
+namespace mpx::base {
+
+bool pool_passthrough() {
+  static const bool off = MPX_POOL_ASAN || cvar_bool("MPX_POOL_DISABLE", false);
+  return off;
+}
+
+// ---- registry ----
+
+namespace {
+
+struct RegistryRow {
+  const char* name;
+  PoolStats (*fn)(const void*);
+  const void* self;
+};
+
+struct Registry {
+  Spinlock mu;
+  std::vector<RegistryRow> rows MPX_GUARDED_BY(mu);
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+namespace pool_detail {
+
+void register_pool(const char* name, PoolStats (*fn)(const void*),
+                   const void* self) {
+  Registry& r = registry();
+  LockGuard<Spinlock> g(r.mu);
+  r.rows.push_back(RegistryRow{name, fn, self});
+}
+
+void unregister_pool(const void* self) {
+  Registry& r = registry();
+  LockGuard<Spinlock> g(r.mu);
+  r.rows.erase(std::remove_if(r.rows.begin(), r.rows.end(),
+                              [&](const RegistryRow& row) {
+                                return row.self == self;
+                              }),
+               r.rows.end());
+}
+
+}  // namespace pool_detail
+
+std::vector<NamedPoolStats> pool_registry_snapshot() {
+  // Copy the rows first: fn() takes the pool's own lock, and holding the
+  // registry lock across that would order registry -> pool for readers
+  // while registration orders pool-construction -> registry.
+  std::vector<RegistryRow> rows;
+  {
+    Registry& r = registry();
+    LockGuard<Spinlock> g(r.mu);
+    rows = r.rows;
+  }
+  std::vector<NamedPoolStats> out;
+  out.reserve(rows.size());
+  for (const RegistryRow& row : rows) {
+    out.push_back(NamedPoolStats{row.name, row.fn(row.self)});
+  }
+  return out;
+}
+
+// ---- FixedBlockPool ----
+
+FixedBlockPool::FixedBlockPool(const char* name, std::size_t block_size,
+                               std::size_t max_free)
+    : name_(name),
+      block_size_(std::max(block_size, sizeof(Node))),
+      max_free_(max_free) {
+  pool_detail::register_pool(
+      name, [](const void* self) {
+        return static_cast<const FixedBlockPool*>(self)->stats();
+      },
+      this);
+}
+
+FixedBlockPool::~FixedBlockPool() {
+  pool_detail::unregister_pool(this);
+  LockGuard<Spinlock> g(mu_);
+  while (free_ != nullptr) {
+    Node* n = free_;
+    free_ = n->next;
+    ::operator delete(static_cast<void*>(n));
+  }
+}
+
+void* FixedBlockPool::allocate(std::size_t n) {
+  if (n <= block_size_ && !pool_passthrough()) {
+    LockGuard<Spinlock> g(mu_);
+    ++st_.live;
+    if (free_ != nullptr) {
+      Node* node = free_;
+      free_ = node->next;
+      --st_.free_count;
+      ++st_.hits;
+      return static_cast<void*>(node);
+    }
+    ++st_.misses;
+  } else {
+    LockGuard<Spinlock> g(mu_);
+    ++st_.live;
+    ++st_.misses;
+  }
+  return ::operator new(std::max(n, block_size_));
+}
+
+void FixedBlockPool::deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  {
+    LockGuard<Spinlock> g(mu_);
+    --st_.live;
+    if (st_.free_count < max_free_ && !pool_passthrough()) {
+      Node* node = ::new (p) Node{free_};
+      free_ = node;
+      ++st_.free_count;
+      return;
+    }
+    ++st_.overflow;
+  }
+  ::operator delete(p);
+}
+
+PoolStats FixedBlockPool::stats() const {
+  LockGuard<Spinlock> g(mu_);
+  return st_;
+}
+
+// ---- PayloadPool ----
+
+PayloadPool::PayloadPool()
+    : max_block_(static_cast<std::size_t>(
+          cvar_int("MPX_POOL_PAYLOAD_MAX",
+                   static_cast<std::int64_t>(class_bytes(kClasses - 1))))),
+      max_free_per_class_(static_cast<std::size_t>(
+          cvar_int("MPX_POOL_PAYLOAD_CAP", 128))) {
+  max_block_ = std::min(max_block_, class_bytes(kClasses - 1));
+  pool_detail::register_pool(
+      "payload", [](const void* self) {
+        return static_cast<const PayloadPool*>(self)->stats();
+      },
+      this);
+}
+
+PayloadPool::~PayloadPool() {
+  pool_detail::unregister_pool(this);
+  for (SizeClass& c : classes_) {
+    LockGuard<Spinlock> g(c.mu);
+    while (c.free != nullptr) {
+      Node* n = c.free;
+      c.free = n->next;
+      ::operator delete(static_cast<void*>(n));
+    }
+  }
+}
+
+PayloadPool& PayloadPool::instance() {
+  static PayloadPool pool;
+  return pool;
+}
+
+std::size_t PayloadPool::class_of(std::size_t n) {
+  const std::size_t rounded = std::bit_ceil(std::max(n, kMinBlock));
+  return static_cast<std::size_t>(std::countr_zero(rounded)) -
+         static_cast<std::size_t>(std::countr_zero(kMinBlock));
+}
+
+std::byte* PayloadPool::allocate(std::size_t n) {
+  const std::size_t cls = class_of(n);
+  SizeClass& c = classes_[cls];
+  {
+    LockGuard<Spinlock> g(c.mu);
+    ++c.st.live;
+    if (c.free != nullptr && !pool_passthrough()) {
+      Node* node = c.free;
+      c.free = node->next;
+      --c.st.free_count;
+      ++c.st.hits;
+      return static_cast<std::byte*>(static_cast<void*>(node));
+    }
+    ++c.st.misses;
+  }
+  return static_cast<std::byte*>(::operator new(class_bytes(cls)));
+}
+
+void PayloadPool::release(std::byte* p, std::size_t n) noexcept {
+  const std::size_t cls = class_of(n);
+  SizeClass& c = classes_[cls];
+  {
+    LockGuard<Spinlock> g(c.mu);
+    --c.st.live;
+    if (c.st.free_count < max_free_per_class_ && !pool_passthrough()) {
+      Node* node = ::new (static_cast<void*>(p)) Node{c.free};
+      c.free = node;
+      ++c.st.free_count;
+      return;
+    }
+    ++c.st.overflow;
+  }
+  ::operator delete(static_cast<void*>(p));
+}
+
+PoolStats PayloadPool::stats() const {
+  PoolStats total;
+  for (const SizeClass& c : classes_) {
+    LockGuard<Spinlock> g(c.mu);
+    total.hits += c.st.hits;
+    total.misses += c.st.misses;
+    total.overflow += c.st.overflow;
+    total.live += c.st.live;
+    total.free_count += c.st.free_count;
+  }
+  return total;
+}
+
+namespace {
+
+void payload_deleter(std::byte* p, std::size_t n) noexcept {
+  PayloadPool::instance().release(p, n);
+}
+
+}  // namespace
+
+Buffer pooled_buffer(std::size_t n) {
+  if (n == 0) return Buffer();
+  PayloadPool& pool = PayloadPool::instance();
+  if (n > pool.max_block()) return Buffer(n);
+  return Buffer(pool.allocate(n), n, &payload_deleter);
+}
+
+Buffer pooled_copy(ConstByteSpan src) {
+  Buffer b = pooled_buffer(src.size());
+  if (!src.empty()) std::memcpy(b.data(), src.data(), src.size());
+  return b;
+}
+
+}  // namespace mpx::base

@@ -134,19 +134,15 @@ std::optional<Status> Comm::iprobe(int src, int tag) const {
   const int match_src = src == any_source ? any_source : impl_->to_world(src);
   std::optional<Status> out;
   base::LockGuard<base::InstrumentedMutex> g(v.mu);
-  v.unexpected.for_each_safe([&](core_detail::UnexpMsg* u) {
-    if (out.has_value()) return;
-    const auto& h = u->msg.h;
-    if (h.context_id == impl_->context_id &&
-        (match_src == any_source || match_src == h.src_rank) &&
-        (tag == any_tag || tag == h.tag)) {
-      Status s;
-      s.source = impl_->to_comm(h.src_rank);
-      s.tag = h.tag;
-      s.count_bytes = h.total_bytes;
-      out = s;
-    }
-  });
+  if (const core_detail::UnexpMsg* u =
+          v.unexpected.find(impl_->context_id, match_src, tag);
+      u != nullptr) {
+    Status s;
+    s.source = impl_->to_comm(u->msg.h.src_rank);
+    s.tag = u->msg.h.tag;
+    s.count_bytes = u->msg.h.total_bytes;
+    out = s;
+  }
   return out;
 }
 
@@ -182,16 +178,7 @@ std::optional<MatchedMsg> Comm::improbe(int src, int tag) const {
   core_detail::UnexpMsg* hit = nullptr;
   {
     base::LockGuard<base::InstrumentedMutex> g(v.mu);
-    v.unexpected.for_each_safe([&](core_detail::UnexpMsg* u) {
-      if (hit != nullptr) return;
-      const auto& h = u->msg.h;
-      if (h.context_id == impl_->context_id &&
-          (match_src == any_source || match_src == h.src_rank) &&
-          (tag == any_tag || tag == h.tag)) {
-        v.unexpected.erase(u);
-        hit = u;
-      }
-    });
+    hit = v.unexpected.pop(impl_->context_id, match_src, tag);
   }
   if (hit == nullptr) return std::nullopt;
   Status env;

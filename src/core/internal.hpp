@@ -25,9 +25,11 @@
 #include <mutex>
 #include <vector>
 
+#include "matching.hpp"
 #include "mpx/base/instrumented_mutex.hpp"
 #include "mpx/base/intrusive.hpp"
 #include "mpx/base/lock_rank.hpp"
+#include "mpx/base/pool.hpp"
 #include "mpx/base/queue.hpp"
 #include "mpx/base/thread_safety.hpp"
 #include "mpx/core/async.hpp"
@@ -55,13 +57,6 @@ struct AsyncRuntime {
     return std::move(t.spawned_);
   }
   static bool has_spawned(const AsyncThing& t) { return !t.spawned_.empty(); }
-};
-
-/// An unexpected message (eager payload or rendezvous RTS) parked until a
-/// matching receive is posted.
-struct UnexpMsg {
-  base::ListHook hook;
-  transport::Msg msg;
 };
 
 /// Receiver-side large-message copy work for the shared-memory LMT path:
@@ -95,10 +90,16 @@ struct Vci {
 
   base::InstrumentedMutex mu{"vci", base::LockRank::vci};
 
-  // Matching engine (per-VCI, as in MPICH ch4).
-  base::IntrusiveList<RequestImpl, &RequestImpl::match_hook> posted
-      MPX_GUARDED_BY(mu);
-  base::IntrusiveList<UnexpMsg, &UnexpMsg::hook> unexpected MPX_GUARDED_BY(mu);
+  // Matching engine (per-VCI, as in MPICH ch4): hashed (context, source)
+  // bins — see matching.hpp. Bin counts come from WorldConfig::match_bins;
+  // make_vci calls init() before the VCI is published.
+  PostedQueue posted MPX_GUARDED_BY(mu);
+  UnexpQueue unexpected MPX_GUARDED_BY(mu);
+  /// Storage pool for unexpected-message bookkeeping. Acquire and release
+  /// both happen under `mu` (arrival handlers, irecv/imrecv consume,
+  /// teardown), so a plain per-VCI freelist suffices — no atomics on this
+  /// hot path, unlike the process-wide request/payload pools.
+  base::FreelistPool<UnexpMsg> unexp_pool MPX_GUARDED_BY(mu);
 
   // Progress subsystems, in Listing 1.1 order.
   dtype::PackEngine pack_engine MPX_GUARDED_BY(mu);   // (1) datatype engine

@@ -31,10 +31,11 @@ Vci::~Vci() {
   drop_hooks(coll_hooks);
   while (auto t = inbox_asyncs.try_pop()) delete *t;
   while (auto t = inbox_coll.try_pop()) delete *t;
-  while (UnexpMsg* u = unexpected.pop_front()) delete u;
-  while (RequestImpl* r = posted.pop_front()) {
-    base::Ref<RequestImpl> drop(r);  // adopt the posted-list reference
+  while (UnexpMsg* u = unexpected.pop_front_any()) unexp_pool.release(u);
+  while (RequestImpl* r = posted.pop_any()) {
+    base::Ref<RequestImpl> drop(r);  // adopt the posted-queue reference
   }
+  // ~FreelistPool frees the parked UnexpMsg storage after this returns.
 }
 
 namespace {
@@ -89,25 +90,34 @@ int progress_test(Vci& v, unsigned mask) {
   base::LockGuard<base::InstrumentedMutex> g(v.mu);
   ++v.progress_calls;
 
-  drain_inbox(v, v.inbox_coll, v.coll_hooks);
-  drain_inbox(v, v.inbox_asyncs, v.asyncs);
+  // Empty-stage fast path: hook_count covers linked hooks AND mailbox
+  // entries (enqueue_hook increments before pushing), so when it reads zero
+  // both mailbox spinlocks can be skipped outright. A racing registration
+  // is picked up by a later progress call — polling may lag registration.
+  if (v.hook_count.load(std::memory_order_acquire) != 0) {
+    drain_inbox(v, v.inbox_coll, v.coll_hooks);
+    drain_inbox(v, v.inbox_asyncs, v.asyncs);
+  }
 
+  // Each collation stage below is skipped when its work queue is provably
+  // empty under `mu` — the common case for pure p2p traffic, which then
+  // pays only for the transport polls.
   int made = 0;
-  if ((mask & progress_dtype) != 0) {
+  if ((mask & progress_dtype) != 0 && !v.pack_engine.idle()) {
     v.pack_engine.progress(&made);
     if (made != 0) {
       ++v.stage_hits[0];
       return made;
     }
   }
-  if ((mask & progress_coll) != 0) {
+  if ((mask & progress_coll) != 0 && !v.coll_hooks.empty()) {
     poll_hooks(v, v.coll_hooks, &made);
     if (made != 0) {
       ++v.stage_hits[1];
       return made;
     }
   }
-  if ((mask & progress_async) != 0) {
+  if ((mask & progress_async) != 0 && !v.asyncs.empty()) {
     poll_hooks(v, v.asyncs, &made);
     if (made != 0) {
       ++v.stage_hits[2];

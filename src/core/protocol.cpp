@@ -43,24 +43,18 @@ void route(World& w, Msg&& m, std::uint64_t cookie) {
   }
 }
 
-bool match(const RequestImpl& r, std::int32_t ctx, std::int32_t src,
-           std::int32_t tag) {
-  return r.context_id == ctx &&
-         (r.match_src == any_source || r.match_src == src) &&
-         (r.match_tag == any_tag || r.match_tag == tag);
+/// Pop the oldest posted receive matching the header (MPI FIFO order, bin
+/// scan + wildcard-list scan — matching.hpp). The returned pointer carries
+/// the posted-list reference.
+RequestImpl* pop_posted(Vci& v, const MsgHeader& h) MPX_REQUIRES(v.mu) {
+  return v.posted.pop_match(h.context_id, h.src_rank, h.tag);
 }
 
-/// Pop the first posted receive matching the header (FIFO order).
-/// The returned pointer carries the posted-list reference.
-RequestImpl* pop_posted(Vci& v, const MsgHeader& h) MPX_REQUIRES(v.mu) {
-  RequestImpl* found = nullptr;
-  v.posted.for_each_safe([&](RequestImpl* r) {
-    if (found == nullptr && match(*r, h.context_id, h.src_rank, h.tag)) {
-      v.posted.erase(r);
-      found = r;
-    }
-  });
-  return found;
+/// Park an arrival on the unexpected queue (storage from the VCI's pool).
+void park_unexpected(Vci& v, Msg&& m) MPX_REQUIRES(v.mu) {
+  UnexpMsg* u = v.unexp_pool.acquire();
+  u->msg = std::move(m);
+  v.unexpected.push_back(u);
 }
 
 void set_recv_envelope(RequestImpl* rreq, const MsgHeader& h) {
@@ -158,7 +152,7 @@ void inject_next_chunk(Vci& v, RequestImpl* sreq) {
   data.h.total_bytes = sreq->total_bytes;
   data.h.chunk_offset = sreq->next_offset;
   data.h.recver_cookie = sreq->peer_cookie;
-  data.payload = base::Buffer::copy_of(base::ConstByteSpan(
+  data.payload = base::pooled_copy(base::ConstByteSpan(
       sreq->send_src + sreq->next_offset, static_cast<std::size_t>(len)));
   sreq->next_offset += len;
   ++sreq->chunks_inflight;
@@ -177,9 +171,7 @@ void handle_eager(Vci& v, Msg&& m) MPX_REQUIRES(v.mu) {
   }
   trace_emit(v, trace::Event::unexpected, m.h.src_rank, m.h.tag,
              m.h.total_bytes);
-  auto* u = new UnexpMsg();
-  u->msg = std::move(m);
-  v.unexpected.push_back(u);
+  park_unexpected(v, std::move(m));
 }
 
 void handle_rts(Vci& v, Msg&& m) MPX_REQUIRES(v.mu) {
@@ -192,9 +184,7 @@ void handle_rts(Vci& v, Msg&& m) MPX_REQUIRES(v.mu) {
   }
   trace_emit(v, trace::Event::unexpected, m.h.src_rank, m.h.tag,
              m.h.total_bytes);
-  auto* u = new UnexpMsg();
-  u->msg = std::move(m);
-  v.unexpected.push_back(u);
+  park_unexpected(v, std::move(m));
 }
 
 void handle_cts(Vci& v, Msg&& m) {
@@ -395,7 +385,7 @@ Request isend_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
     if (!sync && r->total_bytes <= cfg.shm_eager_max) {
       r->proto = SendProto::shm_eager;
       m.h.kind = MsgKind::eager;
-      m.payload = base::Buffer::copy_of(base::ConstByteSpan(
+      m.payload = base::pooled_copy(base::ConstByteSpan(
           r->send_src, static_cast<std::size_t>(r->total_bytes)));
       w.shm_transport().send(std::move(m), 0);
       r->status.count_bytes = r->total_bytes;
@@ -411,7 +401,7 @@ Request isend_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
     if (!sync && r->total_bytes <= cfg.net_lightweight_max) {
       r->proto = SendProto::net_light;
       m.h.kind = MsgKind::eager;
-      m.payload = base::Buffer::copy_of(base::ConstByteSpan(
+      m.payload = base::pooled_copy(base::ConstByteSpan(
           r->send_src, static_cast<std::size_t>(r->total_bytes)));
       w.nic().inject(std::move(m), 0);
       r->status.count_bytes = r->total_bytes;
@@ -419,7 +409,7 @@ Request isend_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
     } else if (!sync && r->total_bytes <= cfg.net_eager_max) {
       r->proto = SendProto::net_eager;
       m.h.kind = MsgKind::eager;
-      m.payload = base::Buffer::copy_of(base::ConstByteSpan(
+      m.payload = base::pooled_copy(base::ConstByteSpan(
           r->send_src, static_cast<std::size_t>(r->total_bytes)));
       w.nic().inject(std::move(m), cookie_of(r));
     } else {
@@ -460,18 +450,10 @@ Request irecv_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
   v.active_ops.fetch_add(1, std::memory_order_relaxed);
 
   base::LockGuard<base::InstrumentedMutex> g(v.mu);
-  // Check the unexpected queue first (FIFO).
-  UnexpMsg* hit = nullptr;
-  v.unexpected.for_each_safe([&](UnexpMsg* u) {
-    if (hit == nullptr &&
-        u->msg.h.context_id == r->context_id &&
-        (r->match_src == any_source || r->match_src == u->msg.h.src_rank) &&
-        (r->match_tag == any_tag || r->match_tag == u->msg.h.tag)) {
-      v.unexpected.erase(u);
-      hit = u;
-    }
-  });
-  if (hit != nullptr) {
+  // Check the unexpected queue first (oldest eligible arrival).
+  if (UnexpMsg* hit =
+          v.unexpected.pop(r->context_id, r->match_src, r->match_tag);
+      hit != nullptr) {
     base::Ref<RequestImpl> own = base::Ref<RequestImpl>::share(r);
     if (hit->msg.h.kind == MsgKind::eager) {
       deliver_eager(r, hit->msg.h, hit->msg.payload.span());
@@ -479,11 +461,11 @@ Request irecv_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
       ensures(hit->msg.h.kind == MsgKind::rts, "unexpected queue: bad kind");
       start_rndv_recv(v, std::move(own), hit->msg.h);
     }
-    delete hit;
+    v.unexp_pool.release(hit);
     return Request(base::Ref<RequestImpl>(r));
   }
-  r->ref_inc();  // the posted list holds a reference
-  v.posted.push_back(r);
+  r->ref_inc();  // the posted queue holds a reference
+  v.posted.push(r);
   trace_emit(v, trace::Event::post_recv, src, tag,
              count * dt.size());
   return Request(base::Ref<RequestImpl>(r));
@@ -515,14 +497,15 @@ Request imrecv_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
     ensures(u->msg.h.kind == MsgKind::rts, "imrecv: bad claimed message");
     start_rndv_recv(v, base::Ref<RequestImpl>::share(r), u->msg.h);
   }
-  delete u;
+  // The storage came from the parking VCI's pool; releasing into this VCI's
+  // pool is fine (blocks are interchangeable ::operator new storage) and
+  // this is the pool we hold the lock for.
+  v.unexp_pool.release(u);
   return Request(base::Ref<RequestImpl>(r));
 }
 
 void requeue_unexpected(Vci& v, UnexpMsg* u) {
   base::LockGuard<base::InstrumentedMutex> g(v.mu);
-  // Front, not back: the message was matched first; returning it must not
-  // let a younger message from the same channel overtake it.
   v.unexpected.push_front(u);
 }
 

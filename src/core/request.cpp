@@ -52,7 +52,8 @@ void Request::cancel() {
   if (r->kind != core_detail::ReqKind::recv || r->vci == nullptr) return;
   base::LockGuard<base::InstrumentedMutex> g(r->vci->mu);
   if (r->match_hook.linked()) {
-    r->vci->posted.erase(r);
+    r->vci->posted.erase(r);  // PostedQueue::erase — unlinks bin or wildcard
+
     r->cancelled = true;
     r->status.cancelled = true;
     core_detail::complete_request(r, Err::cancelled);

@@ -37,6 +37,9 @@ WorldConfig WorldConfig::from_env(int nranks) {
   c.use_virtual_clock = b::cvar_bool("MPX_VIRTUAL_CLOCK", false);
   c.trace_capacity =
       static_cast<std::size_t>(b::cvar_int("MPX_TRACE_CAPACITY", 0));
+  c.match_bins = static_cast<int>(b::cvar_int("MPX_MATCH_BINS", 64));
+  c.pool_unexp_cap =
+      static_cast<int>(b::cvar_int("MPX_POOL_UNEXP_CAP", 256));
   return c;
 }
 
@@ -54,12 +57,27 @@ struct World::State {
 
 namespace {
 
-std::unique_ptr<Vci> make_vci(World* w, int rank, int id, unsigned mask) {
+// No thread-safety analysis: the guarded matcher/pool members are sized
+// here before the VCI is published, when no other thread can reach it (the
+// same construction-time exclusivity ~Vci relies on). Taking v->mu instead
+// would acquire LockRank::vci while stream_create holds the vci-table lock
+// — the reverse of the documented order.
+std::unique_ptr<Vci> make_vci(World* w, int rank, int id,
+                              unsigned mask) MPX_NO_THREAD_SAFETY_ANALYSIS {
   auto v = std::make_unique<Vci>();
   v->id = id;
   v->rank = rank;
   v->world = w;
   v->default_mask = mask;
+  // Size the matcher and pools before the VCI is published; nobody else can
+  // hold v->mu yet.
+  const WorldConfig& cfg = w->config();
+  const auto nbins =
+      static_cast<std::size_t>(cfg.match_bins < 1 ? 1 : cfg.match_bins);
+  v->posted.init(nbins);
+  v->unexpected.init(nbins);
+  v->unexp_pool.set_max_free(static_cast<std::size_t>(
+      cfg.pool_unexp_cap < 0 ? 0 : cfg.pool_unexp_cap));
   v->sink = core_detail::make_vci_sink(*v);
   return v;
 }
@@ -236,6 +254,21 @@ World::StageCounters World::vci_stage_counters(int rank, int vci_id) const {
   c.shm = v.stage_hits[3];
   c.net = v.stage_hits[4];
   return c;
+}
+
+World::MatchCounters World::vci_match_counters(int rank, int vci_id) const {
+  Vci& v = *vci_ptr(rank, vci_id);
+  base::LockGuard<base::InstrumentedMutex> g(v.mu);
+  MatchCounters c;
+  c.posted = v.posted.size();
+  c.unexpected = v.unexpected.size();
+  return c;
+}
+
+base::PoolStats World::vci_unexp_pool_stats(int rank, int vci_id) const {
+  Vci& v = *vci_ptr(rank, vci_id);
+  base::LockGuard<base::InstrumentedMutex> g(v.mu);
+  return v.unexp_pool.stats();
 }
 
 shm::ShmStats World::shm_stats() const { return s_->shm->stats(); }

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <set>
 #include <thread>
 #include <vector>
@@ -29,6 +31,25 @@ struct Node {
 using NodeList = IntrusiveList<Node, &Node::hook>;
 
 }  // namespace
+
+TEST(Intrusive, ForEachUntilStopsEarly) {
+  NodeList l;
+  Node a(1), b(2), c(3);
+  l.push_back(&a);
+  l.push_back(&b);
+  l.push_back(&c);
+  int visited = 0;
+  Node* hit = l.for_each_until([&](Node* n) {
+    ++visited;
+    return n->v == 2;
+  });
+  ASSERT_EQ(hit, &b);
+  EXPECT_EQ(visited, 2);  // early exit: c never visited
+  EXPECT_EQ(l.for_each_until([](Node* n) { return n->v == 9; }), nullptr);
+  l.erase(&a);
+  l.erase(&b);
+  l.erase(&c);
+}
 
 TEST(Intrusive, PushPopOrder) {
   NodeList l;
@@ -227,6 +248,116 @@ TEST(Pool, Recycles) {
   auto b = pool.acquire();
   EXPECT_EQ(b.get(), raw);  // recycled, not reallocated
   EXPECT_EQ(pool.total_allocated(), 1u);
+}
+
+TEST(Pool, ObjectPoolAccounting) {
+  ObjectPool<int> pool;
+  EXPECT_EQ(pool.live(), 0u);
+  EXPECT_EQ(pool.capacity(), 0u);
+  auto a = pool.acquire();
+  auto b = pool.acquire();
+  EXPECT_EQ(pool.live(), 2u);
+  EXPECT_EQ(pool.capacity(), 2u);
+  EXPECT_EQ(pool.free_count(), 0u);
+  pool.release(std::move(a));
+  // One handed out, one parked: capacity counts both, live only the former.
+  EXPECT_EQ(pool.live(), 1u);
+  EXPECT_EQ(pool.capacity(), 2u);
+  EXPECT_EQ(pool.free_count(), 1u);
+  auto c = pool.acquire();  // recycles the parked object
+  EXPECT_EQ(pool.live(), 2u);
+  EXPECT_EQ(pool.capacity(), 2u);
+  EXPECT_EQ(pool.total_allocated(), 2u);  // cumulative, not live
+  pool.release(std::move(b));
+  pool.release(std::move(c));
+  EXPECT_EQ(pool.live(), 0u);
+  EXPECT_EQ(pool.capacity(), 2u);
+}
+
+TEST(Pool, FreelistPoolRecyclesAndCaps) {
+  struct Node {
+    explicit Node(int x) : v(x) {}
+    int v;
+  };
+  FreelistPool<Node> pool(/*max_free=*/1);
+  Node* a = pool.acquire(1);
+  Node* b = pool.acquire(2);
+  EXPECT_EQ(a->v, 1);
+  EXPECT_EQ(pool.stats().live, 2u);
+  EXPECT_EQ(pool.stats().misses, 2u);
+  pool.release(a);  // parked (free_count 1 == max_free)
+  pool.release(b);  // over the cap: freed, counted as overflow
+  EXPECT_EQ(pool.stats().live, 0u);
+  EXPECT_EQ(pool.stats().free_count, pool_passthrough() ? 0u : 1u);
+  EXPECT_EQ(pool.stats().overflow, pool_passthrough() ? 2u : 1u);
+  Node* c = pool.acquire(3);
+  EXPECT_EQ(c->v, 3);
+  if (!pool_passthrough()) {
+    EXPECT_EQ(pool.stats().hits, 1u);  // reused the parked block
+  }
+  pool.release(c);
+  pool.drain();
+  EXPECT_EQ(pool.stats().free_count, 0u);
+}
+
+TEST(Pool, FixedBlockPoolRegistryAndStats) {
+  auto find = [](const char* name) -> std::optional<PoolStats> {
+    for (const NamedPoolStats& row : pool_registry_snapshot()) {
+      if (row.name == name) return row.stats;
+    }
+    return std::nullopt;
+  };
+  EXPECT_FALSE(find("test-block").has_value());
+  {
+    FixedBlockPool pool("test-block", 64, /*max_free=*/4);
+    void* p = pool.allocate(64);
+    void* q = pool.allocate(32);  // smaller than block: still poolable
+    ASSERT_TRUE(find("test-block").has_value());
+    EXPECT_EQ(find("test-block")->live, 2u);
+    pool.deallocate(p);
+    pool.deallocate(q);
+    EXPECT_EQ(find("test-block")->live, 0u);
+    if (!pool_passthrough()) {
+      EXPECT_EQ(find("test-block")->free_count, 2u);
+      void* r = pool.allocate(64);
+      EXPECT_EQ(pool.stats().hits, 1u);
+      pool.deallocate(r);
+    }
+    // Oversized requests bypass the freelist but stay accounted.
+    void* big = pool.allocate(1024);
+    EXPECT_EQ(pool.stats().live, 1u);
+    pool.deallocate(big);
+  }
+  // Destruction unregisters the pool.
+  EXPECT_FALSE(find("test-block").has_value());
+}
+
+TEST(Pool, PooledBufferRoundtrip) {
+  const char msg[] = "pooled payload bytes";
+  Buffer b = pooled_copy(as_bytes(msg, sizeof(msg)));
+  ASSERT_EQ(b.size(), sizeof(msg));
+  EXPECT_EQ(std::memcmp(b.data(), msg, sizeof(msg)), 0);
+  // Oversized buffers fall back to plain storage but keep working.
+  Buffer big = pooled_buffer(PayloadPool::instance().max_block() + 1);
+  EXPECT_EQ(big.size(), PayloadPool::instance().max_block() + 1);
+  big.data()[0] = std::byte{7};
+  Buffer moved = std::move(big);
+  EXPECT_EQ(moved.data()[0], std::byte{7});
+  EXPECT_EQ(pooled_buffer(0).size(), 0u);
+}
+
+TEST(Pool, PayloadPoolRecyclesPerSizeClass) {
+  PayloadPool& pool = PayloadPool::instance();
+  const PoolStats before = pool.stats();
+  {
+    Buffer a = pooled_buffer(256);
+    EXPECT_EQ(pool.stats().live, before.live + 1);
+  }  // released back into the 256-byte class
+  EXPECT_EQ(pool.stats().live, before.live);
+  if (!pool_passthrough()) {
+    Buffer b = pooled_buffer(256);
+    EXPECT_GT(pool.stats().hits, before.hits);  // storage was recycled
+  }
 }
 
 TEST(Locks, SpinlockMutualExclusion) {

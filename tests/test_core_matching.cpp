@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <optional>
+#include <random>
 #include <vector>
 
 #include "test_util.hpp"
@@ -195,6 +197,189 @@ TEST(Matching, SplitCommunicators) {
     while (!s.is_complete()) stream_progress(w->null_stream(rank));
     w->finalize_rank(rank);
   });
+}
+
+// ---- randomized property test: binned matcher vs reference linear matcher
+//
+// Drives a real World through a random schedule of sends (random source and
+// tag), receives (with any_source / any_tag wildcards), iprobe, and
+// improbe/imrecv (including dropped MatchedMsg handles, which requeue), and
+// checks every delivery against a reference matcher that models MPI
+// semantics with two plain linear scans — the seed implementation. Arrival
+// order is pinned by draining the receiver after every send, so the model's
+// arrival order equals the real one and match results must be IDENTICAL,
+// not merely plausible. Runs single-threaded (deterministic under TSan);
+// exercised at match_bins = 1 (every channel collides) and 64.
+namespace {
+
+struct ModelMsg {
+  int src = -1;
+  int tag = -1;
+  std::int32_t id = -1;  ///< unique payload, identifies the message
+};
+
+struct ModelRecv {
+  int src = -1;  ///< any_source or world rank
+  int tag = -1;  ///< any_tag or tag
+  std::size_t idx = 0;  ///< index into the issued-receive arrays
+};
+
+bool model_match(const ModelRecv& r, const ModelMsg& m) {
+  return (r.src == any_source || r.src == m.src) &&
+         (r.tag == any_tag || r.tag == m.tag);
+}
+
+void run_matching_property(int match_bins, unsigned seed) {
+  SCOPED_TRACE(testing::Message()
+               << "match_bins=" << match_bins << " seed=" << seed);
+  WorldConfig cfg{.nranks = 5};
+  cfg.match_bins = match_bins;
+  auto w = World::create(cfg);
+  Comm c0 = w->comm_world(0);
+  const Stream s0 = w->null_stream(0);
+  std::mt19937 rng(seed);
+  auto pick = [&](int n) { return static_cast<int>(rng() % n); };
+
+  constexpr int kOps = 300;
+  constexpr int kSources = 4;  // world ranks 1..4 send to rank 0
+  constexpr int kTags = 3;
+
+  // Reference matcher state (linear scans, post/arrival order).
+  std::vector<ModelRecv> mposted;
+  std::vector<ModelMsg> munexp;
+
+  // Issued receives. Buffers must have stable addresses: reserved up front.
+  std::vector<Request> reqs;
+  std::vector<std::int32_t> bufs;
+  std::vector<std::optional<ModelMsg>> expected;
+  reqs.reserve(kOps);
+  bufs.reserve(kOps);
+
+  std::int32_t next_id = 1000;
+
+  // Model one arrival at rank 0 and return the matched posted receive's
+  // index, or nullopt when the message parks as unexpected.
+  auto model_arrival = [&](const ModelMsg& m) -> std::optional<std::size_t> {
+    for (std::size_t i = 0; i < mposted.size(); ++i) {
+      if (model_match(mposted[i], m)) {
+        const std::size_t idx = mposted[i].idx;
+        expected[idx] = m;
+        mposted.erase(mposted.begin() + static_cast<std::ptrdiff_t>(i));
+        return idx;
+      }
+    }
+    munexp.push_back(m);
+    return std::nullopt;
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    const int kind = pick(10);
+    if (kind < 5) {
+      // --- send: 4-byte eager from a random source ---
+      ModelMsg m;
+      m.src = 1 + pick(kSources);
+      m.tag = pick(kTags);
+      m.id = next_id++;
+      const auto hit = model_arrival(m);
+      w->comm_world(m.src).isend(&m.id, 1, dtype::Datatype::int32(), 0,
+                                 m.tag);
+      // Drain rank 0 until the arrival is applied, pinning arrival order to
+      // send order (single-threaded, so this is deterministic).
+      if (hit.has_value()) {
+        while (!reqs[*hit].is_complete()) stream_progress(s0);
+      } else {
+        while (w->vci_match_counters(0, 0).unexpected < munexp.size()) {
+          stream_progress(s0);
+        }
+      }
+    } else if (kind < 8) {
+      // --- receive, possibly wildcard ---
+      ModelRecv r;
+      r.src = pick(4) == 0 ? any_source : 1 + pick(kSources);
+      r.tag = pick(4) == 0 ? any_tag : pick(kTags);
+      r.idx = reqs.size();
+      bufs.push_back(-1);
+      expected.emplace_back();
+      // Model the unexpected-queue scan the same way irecv does.
+      bool immediate = false;
+      for (std::size_t i = 0; i < munexp.size(); ++i) {
+        if (model_match(r, munexp[i])) {
+          expected[r.idx] = munexp[i];
+          munexp.erase(munexp.begin() + static_cast<std::ptrdiff_t>(i));
+          immediate = true;
+          break;
+        }
+      }
+      if (!immediate) mposted.push_back(r);
+      reqs.push_back(c0.irecv(&bufs[r.idx], 1, dtype::Datatype::int32(),
+                              r.src, r.tag));
+      // Eager payloads deliver inside irecv when the message already
+      // arrived; otherwise the receive must still be pending.
+      ASSERT_EQ(reqs[r.idx].is_complete(), immediate);
+    } else if (kind == 8) {
+      // --- iprobe(any, any): envelope of the oldest arrival, unconsumed ---
+      const auto p = c0.iprobe(any_source, any_tag);
+      ASSERT_EQ(p.has_value(), !munexp.empty());
+      if (p.has_value()) {
+        EXPECT_EQ(p->source, munexp.front().src);
+        EXPECT_EQ(p->tag, munexp.front().tag);
+      }
+    } else {
+      // --- improbe(any, any), then imrecv or drop (drop requeues) ---
+      auto m = c0.improbe(any_source, any_tag);
+      ASSERT_EQ(m.has_value(), !munexp.empty());
+      if (!m.has_value()) continue;
+      EXPECT_EQ(m->envelope().source, munexp.front().src);
+      EXPECT_EQ(m->envelope().tag, munexp.front().tag);
+      if (pick(3) == 0) {
+        // Drop the handle: ~MatchedMsg requeues at the front, so the model
+        // keeps the message at the head of the queue.
+        m.reset();
+      } else {
+        const ModelMsg claimed = munexp.front();
+        munexp.erase(munexp.begin());
+        const std::size_t idx = reqs.size();
+        bufs.push_back(-1);
+        expected.emplace_back(claimed);
+        reqs.push_back(c0.imrecv(&bufs[idx], 1, dtype::Datatype::int32(),
+                                 std::move(*m)));
+        ASSERT_TRUE(reqs[idx].is_complete());
+      }
+    }
+  }
+
+  // Every completed receive must have delivered exactly the message the
+  // reference matcher predicted — payload identity and envelope.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (expected[i].has_value()) {
+      ASSERT_TRUE(reqs[i].is_complete()) << "recv " << i;
+      EXPECT_EQ(bufs[i], expected[i]->id) << "recv " << i;
+      EXPECT_EQ(reqs[i].status().source, expected[i]->src) << "recv " << i;
+      EXPECT_EQ(reqs[i].status().tag, expected[i]->tag) << "recv " << i;
+    } else {
+      EXPECT_FALSE(reqs[i].is_complete()) << "recv " << i;
+    }
+  }
+  // Queue depths agree with the model; pending receives cancel cleanly.
+  EXPECT_EQ(w->vci_match_counters(0, 0).unexpected, munexp.size());
+  EXPECT_EQ(w->vci_match_counters(0, 0).posted, mposted.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (!expected[i].has_value()) {
+      reqs[i].cancel();
+      ASSERT_TRUE(reqs[i].is_complete());
+      EXPECT_TRUE(reqs[i].status().cancelled);
+    }
+  }
+}
+
+}  // namespace
+
+TEST(MatchingProperty, BinnedEqualsLinearReferenceMatcher) {
+  for (const int bins : {1, 64}) {
+    for (const unsigned seed : {11u, 42u, 1234u}) {
+      run_matching_property(bins, seed);
+    }
+  }
 }
 
 TEST(Matching, ZeroByteMessage) {
