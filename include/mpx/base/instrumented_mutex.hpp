@@ -24,6 +24,7 @@
 
 #include "mpx/base/lock_rank.hpp"
 #include "mpx/base/thread_safety.hpp"
+#include "mpx/mc/sync.hpp"
 
 namespace mpx::base {
 
@@ -59,6 +60,16 @@ class MPX_CAPABILITY("mutex") InstrumentedMutex {
     // Validate ordering BEFORE blocking so a would-be deadlock reports
     // instead of hanging.
     if (rank_ != LockRank::none) lock_rank::on_acquire(this, name_, rank_);
+#if MPX_MODEL_CHECK
+    // Under the checker, skip the try-then-lock contention counting: it
+    // would double every schedule point for no extra behaviors (the modeled
+    // mutex tracks blocking itself).
+    if (mc::detail::modeled()) {
+      mu_.lock();
+      acquires_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+#endif
     if (!mu_.try_lock()) {
       mu_.lock();
       // Count only after the blocking acquire succeeds: incrementing before
@@ -103,7 +114,12 @@ class MPX_CAPABILITY("mutex") InstrumentedMutex {
   LockRank rank() const { return rank_; }
 
  private:
-  std::recursive_mutex mu_;
+  // mc::rec_mutex IS std::recursive_mutex in production; under the model
+  // checker it reports ownership to the explorer (which is how destroying a
+  // held VCI mutex — the stream_free bug class — gets caught). The stats
+  // counters stay raw std::atomic on purpose: they are diagnostics, not
+  // protocol, and modeling them would only blow up the schedule space.
+  mc::rec_mutex mu_;
   std::atomic<std::uint64_t> acquires_{0};
   std::atomic<std::uint64_t> contended_{0};
   const char* name_ = "mutex";

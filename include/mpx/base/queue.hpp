@@ -19,10 +19,16 @@
 #include "mpx/base/spinlock.hpp"
 #include "mpx/base/status.hpp"
 #include "mpx/base/thread_safety.hpp"
+#include "mpx/mc/sync.hpp"
 
 namespace mpx::base {
 
 /// Lock-free bounded SPSC ring buffer. Capacity must be a power of two.
+///
+/// The head/tail indices are mc::atomic and the slot accesses carry
+/// MPX_MC_PLAIN_* annotations: under the model checker, weakening either the
+/// producer's release publish or the consumer's acquire read shows up as a
+/// data race on the slot, across every explored interleaving.
 template <class T>
 class SpscRing {
  public:
@@ -36,6 +42,7 @@ class SpscRing {
     const std::size_t h = head_.load(std::memory_order_relaxed);
     const std::size_t t = tail_.load(std::memory_order_acquire);
     if (h - t == buf_.size()) return false;
+    MPX_MC_PLAIN_WRITE(&buf_[h & (buf_.size() - 1)], "SpscRing slot");
     buf_[h & (buf_.size() - 1)] = std::move(v);
     head_.store(h + 1, std::memory_order_release);
     return true;
@@ -46,6 +53,7 @@ class SpscRing {
     const std::size_t t = tail_.load(std::memory_order_relaxed);
     const std::size_t h = head_.load(std::memory_order_acquire);
     if (h == t) return std::nullopt;
+    MPX_MC_PLAIN_WRITE(&buf_[t & (buf_.size() - 1)], "SpscRing slot");
     T v = std::move(buf_[t & (buf_.size() - 1)]);
     tail_.store(t + 1, std::memory_order_release);
     return v;
@@ -61,8 +69,8 @@ class SpscRing {
 
  private:
   std::vector<T> buf_;
-  alignas(64) std::atomic<std::size_t> head_{0};
-  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) mc::atomic<std::size_t> head_{0};
+  alignas(64) mc::atomic<std::size_t> tail_{0};
 };
 
 /// Mutex-guarded unbounded MPSC/MPMC queue for control-plane traffic.

@@ -14,10 +14,15 @@
 #include "mpx/base/lock_rank.hpp"
 #include "mpx/base/thread.hpp"
 #include "mpx/base/thread_safety.hpp"
+#include "mpx/mc/sync.hpp"
 
 namespace mpx::base {
 
 /// TTAS spinlock. Satisfies Lockable, usable with base::LockGuard.
+///
+/// Under MPX_MODEL_CHECK the flag is an mc::atomic, so the acquire/release
+/// protocol itself is what the model checker explores (weakening either
+/// order is detected as a race on the data the lock protects).
 class MPX_CAPABILITY("spinlock") Spinlock {
  public:
   Spinlock() = default;
@@ -33,11 +38,29 @@ class MPX_CAPABILITY("spinlock") Spinlock {
     if (rank_ != LockRank::none) lock_rank::on_acquire(this, name_, rank_);
     for (;;) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
+#if MPX_MODEL_CHECK
+      // Modeled contention blocks on the flag instead of spinning: the next
+      // modeled store wakes us, so busy-wait schedules never enter the DFS.
+      if (mc::detail::mc_wait_change(&flag_)) continue;
+#endif
       while (flag_.load(std::memory_order_relaxed)) cpu_relax();
     }
   }
 
   bool try_lock() MPX_TRY_ACQUIRE(true) {
+#if MPX_MODEL_CHECK
+    // Skip the racy relaxed pre-load under the checker: it would add a
+    // schedule point without adding behaviors (the exchange decides).
+    if (mc::detail::modeled()) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) {
+        if (rank_ != LockRank::none) {
+          lock_rank::on_try_acquire(this, name_, rank_);
+        }
+        return true;
+      }
+      return false;
+    }
+#endif
     if (!flag_.load(std::memory_order_relaxed) &&
         !flag_.exchange(true, std::memory_order_acquire)) {
       if (rank_ != LockRank::none) {
@@ -57,7 +80,7 @@ class MPX_CAPABILITY("spinlock") Spinlock {
   LockRank rank() const { return rank_; }
 
  private:
-  std::atomic<bool> flag_{false};
+  mc::atomic<bool> flag_{false};
   const char* name_ = "spinlock";
   LockRank rank_ = LockRank::none;
 };

@@ -41,6 +41,7 @@
 #include "mpx/base/status.hpp"
 #include "mpx/dtype/datatype.hpp"
 #include "mpx/dtype/segment.hpp"
+#include "mpx/mc/sync.hpp"
 
 namespace mpx {
 class World;
@@ -83,8 +84,8 @@ struct GrequestFns {
 };
 
 struct RequestImpl : base::RefCounted {
-  explicit RequestImpl(ReqKind k) : kind(k) { live_count().fetch_add(1); }
-  ~RequestImpl() { live_count().fetch_sub(1); }
+  explicit RequestImpl(ReqKind k) : kind(k) { live_count().fetch_add(1, std::memory_order_relaxed); }
+  ~RequestImpl() { live_count().fetch_sub(1, std::memory_order_relaxed); }
 
   /// Requests are the hot currency of the datapath: storage is recycled
   /// through a process-wide freelist (declared below). The pool is global,
@@ -105,7 +106,10 @@ struct RequestImpl : base::RefCounted {
   ReqKind kind;
   World* world = nullptr;
   Vci* vci = nullptr;  ///< VCI whose progress completes this request
-  std::atomic<bool> complete{false};
+  /// mc::atomic so the model checker can verify the completion contract:
+  /// the release store here is the ONLY thing ordering `status` (and the
+  /// received payload) for a polling thread.
+  mc::atomic<bool> complete{false};
   Status status;
 
   // --- matching (posted receives live in the VCI's matching bins) ---

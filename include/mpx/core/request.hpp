@@ -33,7 +33,19 @@ class Request {
   /// atomic acquire load; never invokes progress. Invalid handles read as
   /// complete (matching MPI_REQUEST_NULL semantics in test/wait loops).
   bool is_complete() const {
+#if MPX_MODEL_CHECK
+    // Seeded-mutation self-test hook: mc::mut::weak_is_complete weakens the
+    // acquire to relaxed, severing the happens-before edge to `status` and
+    // the payload. The mc suite must detect that as a data race.
+    if (impl_) {
+      return impl_->complete.load(mc::mut::weak_is_complete
+                                      ? std::memory_order_relaxed
+                                      : std::memory_order_acquire);
+    }
+    return true;
+#else
     return !impl_ || impl_->complete.load(std::memory_order_acquire);
+#endif
   }
 
   /// Completion status; call only after is_complete() is true.
@@ -41,6 +53,7 @@ class Request {
     expects(valid(), "Request::status: invalid request");
     expects(impl_->complete.load(std::memory_order_acquire),
             "Request::status: request not complete");
+    MPX_MC_PLAIN_READ(&impl_->status, "Request::status");
     return impl_->status;
   }
 

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <mutex>
 
 #include "mpx/base/cvar.hpp"
 
@@ -25,9 +26,15 @@ struct RegistryRow {
   const void* self;
 };
 
+// Raw std::mutex, deliberately NOT base::Spinlock: pools register lazily on
+// first use (function-local statics), so under MPX_MODEL_CHECK a modeled
+// registry lock would add one-time schedule points in whichever schedule
+// first touches a pool — breaking the explorer's requirement that every
+// schedule replay the same op stream. Registration is init bookkeeping, not
+// a protocol under test.
 struct Registry {
-  Spinlock mu;
-  std::vector<RegistryRow> rows MPX_GUARDED_BY(mu);
+  std::mutex mu;
+  std::vector<RegistryRow> rows;  // guarded by mu
 };
 
 Registry& registry() {
@@ -42,13 +49,13 @@ namespace pool_detail {
 void register_pool(const char* name, PoolStats (*fn)(const void*),
                    const void* self) {
   Registry& r = registry();
-  LockGuard<Spinlock> g(r.mu);
+  std::lock_guard<std::mutex> g(r.mu);
   r.rows.push_back(RegistryRow{name, fn, self});
 }
 
 void unregister_pool(const void* self) {
   Registry& r = registry();
-  LockGuard<Spinlock> g(r.mu);
+  std::lock_guard<std::mutex> g(r.mu);
   r.rows.erase(std::remove_if(r.rows.begin(), r.rows.end(),
                               [&](const RegistryRow& row) {
                                 return row.self == self;
@@ -65,7 +72,7 @@ std::vector<NamedPoolStats> pool_registry_snapshot() {
   std::vector<RegistryRow> rows;
   {
     Registry& r = registry();
-    LockGuard<Spinlock> g(r.mu);
+    std::lock_guard<std::mutex> g(r.mu);
     rows = r.rows;
   }
   std::vector<NamedPoolStats> out;

@@ -85,7 +85,10 @@ struct Vci {
   int id = 0;
   int rank = -1;
   World* world = nullptr;
-  std::atomic<bool> active{true};  ///< false after stream_free
+  /// false after stream_free. mc::atomic: the model checker validates the
+  /// publish protocol (store-release strictly AFTER dropping `mu`, so a
+  /// concurrent stream_create can never destroy a held mutex).
+  mc::atomic<bool> active{true};
   unsigned default_mask = progress_all;
 
   base::InstrumentedMutex mu{"vci", base::LockRank::vci};

@@ -88,7 +88,11 @@ class PostedQueue {
   std::size_t size() const { return count_; }
 
   /// File a posted receive; stamps match_seq/match_bin.
+  /// Callers serialize via the owning VCI's lock; the model checker proves
+  /// it — the PLAIN annotations on next_seq_ here and in pop_match turn any
+  /// unlocked caller into a detected race across all explored schedules.
   void push(RequestImpl* r) {
+    MPX_MC_PLAIN_WRITE(&next_seq_, "PostedQueue::next_seq");
     r->match_seq = next_seq_++;
     if (r->match_src == any_source) {
       r->match_bin = -1;
@@ -107,6 +111,7 @@ class PostedQueue {
   /// the reference taken at push time.
   RequestImpl* pop_match(std::int32_t ctx, std::int32_t src,
                          std::int32_t tag) {
+    MPX_MC_PLAIN_WRITE(&next_seq_, "PostedQueue::next_seq");
     if (count_ == 0) return nullptr;
     List& bin = bins_[match_bin_of(ctx, src, nbins_)];
     RequestImpl* spec = bin.for_each_until([&](RequestImpl* r) {

@@ -152,6 +152,10 @@ void complete_request(RequestImpl* r, Err err) {
     r->on_complete(r, r->on_complete_arg);
     r->on_complete = nullptr;
   }
+  // Completion contract (request_impl.hpp): status and payload writes above
+  // are ordered for pollers ONLY by this release store. The matching
+  // MPX_MC_PLAIN_READ sits in Request::status().
+  MPX_MC_PLAIN_WRITE(&r->status, "Request::status");
   r->complete.store(true, std::memory_order_release);
   if (r->vci != nullptr &&
       (r->kind == ReqKind::send || r->kind == ReqKind::recv ||

@@ -182,6 +182,17 @@ void World::stream_free(Stream& stream) {
                 v.lmt.empty() &&
                 v.active_ops.load(std::memory_order_relaxed) == 0,
             "stream_free: stream still has pending work");
+#if MPX_MODEL_CHECK
+    // Seeded-mutation self-test hook: reintroduce the PR 1 bug — publishing
+    // reusability while still holding v.mu lets a concurrent stream_create
+    // destroy the mutex mid-unlock. The mc suite must catch this as a
+    // mutex-destroyed-while-held failure.
+    if (mc::mut::stream_free_publish_under_lock) {
+      v.active.store(false, std::memory_order_release);
+      stream = Stream();
+      return;
+    }
+#endif
   }
   // Publish reusability only AFTER the guard released v.mu: stream_create
   // deletes the Vci as soon as it observes active == false (acquire), and

@@ -2,11 +2,14 @@
 // queues, clocks, stats, cvars, pools, and locks.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "mpx/base/clock.hpp"
@@ -18,8 +21,20 @@
 #include "mpx/base/spinlock.hpp"
 #include "mpx/base/stats.hpp"
 #include "mpx/base/thread.hpp"
+#include "mpx/mc/sync.hpp"
 
 using namespace mpx::base;
+
+#if !MPX_MODEL_CHECK
+// Zero-overhead pin for the mc:: shims (promised by mpx/mc/sync.hpp): in
+// production builds they ARE the raw primitives — pure aliases, no wrapper
+// types, nothing for codegen to see.
+static_assert(std::is_same_v<mpx::mc::atomic<int>, std::atomic<int>>);
+static_assert(std::is_same_v<mpx::mc::atomic<bool>, std::atomic<bool>>);
+static_assert(std::is_same_v<mpx::mc::mutex, std::mutex>);
+static_assert(std::is_same_v<mpx::mc::rec_mutex, std::recursive_mutex>);
+static_assert(std::is_same_v<mpx::mc::spinlock, mpx::base::Spinlock>);
+#endif
 
 namespace {
 

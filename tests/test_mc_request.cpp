@@ -1,0 +1,110 @@
+// Model-check: the §3.4 completion contract — MPIX_Request_is_complete is a
+// single acquire load, and that acquire is the ONLY thing ordering the
+// payload and Status for a polling thread.
+//
+// Includes the first seeded-mutation self-test: mc::mut::weak_is_complete
+// weakens the poller's load to relaxed. The checker must catch that as a
+// data race on the payload — on every run, not one lucky interleaving —
+// and the failing schedule must replay deterministically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "mpx/base/intrusive.hpp"
+#include "mpx/core/request.hpp"
+#include "mpx/mc/mc.hpp"
+
+#if MPX_MODEL_CHECK
+
+namespace mc = mpx::mc;
+using mpx::Request;
+using mpx::core_detail::ReqKind;
+using mpx::core_detail::RequestImpl;
+
+namespace {
+
+/// One bounded completion round: a completer thread writes the payload and
+/// Status, then publishes with the release store; the body polls
+/// is_complete() and reads both. Heap-allocated impl (pooled operator new)
+/// because Ref adopts and deletes.
+void completion_round() {
+  std::int32_t payload = 0;
+  auto* impl = new RequestImpl(ReqKind::user);
+  Request req{mpx::base::Ref<RequestImpl>(impl)};
+
+  mc::thread completer([&payload, impl] {
+    MPX_MC_PLAIN_WRITE(&payload, "recv payload");
+    payload = 42;
+    impl->status.count_bytes = sizeof(payload);
+    MPX_MC_PLAIN_WRITE(&impl->status, "Request::status");
+    impl->complete.store(true, std::memory_order_release);
+  });
+
+  while (!req.is_complete()) mc::yield();
+  MPX_MC_PLAIN_READ(&payload, "recv payload");
+  mc::check(payload == 42, "completed request implies payload visible");
+  mc::check(req.status().count_bytes == sizeof(payload),
+            "completed request implies Status visible");
+  completer.join();
+}
+
+}  // namespace
+
+TEST(McRequest, AcquirePollOrdersPayloadAllSchedules) {
+  mc::Options opt;
+  opt.name = "request_complete";
+  const mc::Result res = mc::explore(opt, completion_round);
+  RecordProperty("summary", res.summary());
+  EXPECT_TRUE(res.ok()) << res.summary();
+  EXPECT_TRUE(res.exhausted || res.truncated || res.bound_limited)
+      << res.summary();
+  EXPECT_GT(res.schedules, 1);
+}
+
+TEST(McRequest, SeededMutationWeakIsCompleteIsCaught) {
+  mc::mut::weak_is_complete = true;
+  mc::Options opt;
+  opt.name = "request_weak_poll";
+  const mc::Result res = mc::explore(opt, completion_round);
+  mc::mut::weak_is_complete = false;
+  RecordProperty("summary", res.summary());
+
+  ASSERT_TRUE(res.failed)
+      << "relaxed is_complete must be detected: " << res.summary();
+  EXPECT_NE(res.failure.find("data race"), std::string::npos) << res.failure;
+  ASSERT_FALSE(res.replay.empty());
+
+  // Replay self-test: the recorded decision string must reproduce the same
+  // failure deterministically (this is what a developer does with the
+  // MPX_MC_REPLAY env var and the CI artifact dump).
+  mc::mut::weak_is_complete = true;
+  mc::Options replay_opt;
+  replay_opt.name = "request_weak_poll_replay";
+  replay_opt.replay = res.replay;
+  const mc::Result replayed = mc::explore(replay_opt, completion_round);
+  mc::mut::weak_is_complete = false;
+  EXPECT_TRUE(replayed.failed) << replayed.summary();
+  EXPECT_EQ(replayed.schedules, 1) << "replay runs exactly one schedule";
+  EXPECT_NE(replayed.failure.find("data race"), std::string::npos)
+      << replayed.failure;
+}
+
+TEST(McRequest, ReplayOfPassingScheduleStaysClean) {
+  // A replay string from a clean exploration replays clean: guards against
+  // nondeterminism in the scenario or the trail encoding.
+  mc::Options opt;
+  opt.name = "request_clean";
+  const mc::Result res = mc::explore(opt, completion_round);
+  ASSERT_TRUE(res.ok()) << res.summary();
+
+  mc::Options replay_opt;
+  replay_opt.name = "request_clean_replay";
+  replay_opt.replay = res.replay.empty() ? "T0." : res.replay;
+  const mc::Result replayed = mc::explore(replay_opt, completion_round);
+  EXPECT_TRUE(replayed.ok()) << replayed.summary();
+  EXPECT_EQ(replayed.schedules, 1);
+}
+
+#else
+TEST(McRequest, SkippedWithoutModelCheck) { GTEST_SKIP(); }
+#endif

@@ -1,0 +1,77 @@
+// Model-check: the stream_free / stream_create VCI-slot reuse protocol.
+//
+// stream_free publishes reusability with a release store of Vci::active
+// AFTER dropping the VCI lock; stream_create (under the rank's table lock)
+// acquires, observes false, and destroys/replaces the Vci. PR 1's tsan run
+// caught a bug where the store happened while still holding v.mu, letting
+// the create destroy a held mutex. Here the checker proves the fixed
+// protocol across every interleaving, and the seeded mutation
+// (mc::mut::stream_free_publish_under_lock) must reintroduce exactly that
+// failure as a mutex-destroyed-while-held report.
+//
+// The mutation test ABANDONS its session (fatal failure): the World and the
+// parked virtual threads leak by design, so it runs last in this binary and
+// the mc tests stay out of leak-checked presets.
+#include <gtest/gtest.h>
+
+#include "mpx/mc/mc.hpp"
+#include "mpx/mpx.hpp"
+
+#if MPX_MODEL_CHECK
+
+namespace mc = mpx::mc;
+using mpx::Stream;
+using mpx::World;
+using mpx::WorldConfig;
+
+namespace {
+
+/// One bounded lifecycle round: a freer thread retires stream s1 while the
+/// body concurrently creates a new stream (which may reuse s1's slot or
+/// claim a fresh one, depending on the interleaving).
+void lifecycle_round() {
+  WorldConfig cfg;
+  cfg.nranks = 1;
+  cfg.shm_cells = 4;  // shrink single-threaded setup cost per schedule
+  auto w = World::create(cfg);
+  Stream s1 = w->stream_create(0);
+
+  mc::thread freer([&] { w->stream_free(s1); });
+  Stream s2 = w->stream_create(0);
+  freer.join();
+
+  mc::check(s2.valid(), "stream_create must return a live stream");
+  mc::check(!s1.valid(), "stream_free must invalidate the handle");
+  w->stream_free(s2);
+}
+
+}  // namespace
+
+TEST(McStream, FreeCreateRaceIsSafeAllSchedules) {
+  mc::Options opt;
+  opt.name = "stream_reuse";
+  opt.max_schedules = 2000;  // World setup per schedule: keep the budget sane
+  const mc::Result res = mc::explore(opt, lifecycle_round);
+  RecordProperty("summary", res.summary());
+  EXPECT_TRUE(res.ok()) << res.summary();
+  EXPECT_GT(res.schedules, 1);
+}
+
+TEST(McStream, SeededMutationPublishUnderLockIsCaught) {
+  mc::mut::stream_free_publish_under_lock = true;
+  mc::Options opt;
+  opt.name = "stream_publish_under_lock";
+  opt.max_schedules = 2000;
+  const mc::Result res = mc::explore(opt, lifecycle_round);
+  mc::mut::stream_free_publish_under_lock = false;
+  RecordProperty("summary", res.summary());
+
+  ASSERT_TRUE(res.failed)
+      << "publish-under-lock must be detected: " << res.summary();
+  EXPECT_NE(res.failure.find("destroyed"), std::string::npos) << res.failure;
+  EXPECT_FALSE(res.replay.empty()) << "failing schedule must be replayable";
+}
+
+#else
+TEST(McStream, SkippedWithoutModelCheck) { GTEST_SKIP(); }
+#endif
