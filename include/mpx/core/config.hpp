@@ -26,8 +26,23 @@ struct WorldConfig {
   /// Shared-memory transport: eager cutover and ring capacity.
   std::size_t shm_eager_max = 64 * 1024;
   std::size_t shm_cells = 64;
+  /// Inline payload capacity of each ring cell (payloads up to this size
+  /// are copied in-slot; larger eager payloads ride in a pooled block
+  /// referenced by the cell). CVAR: MPX_SHM_SLOT_BYTES.
+  std::size_t shm_slot_bytes = 256;
+  /// Max cells delivered per channel per poll under one acquire/publish
+  /// pair. CVAR: MPX_SHM_DELIVER_BATCH.
+  int shm_deliver_batch = 16;
   /// Shared-memory LMT copy chunk (receiver-side copy work per poll).
   std::size_t shm_lmt_chunk = 256 * 1024;
+
+  /// Wait-loop backoff policy (request.cpp): spin this many empty progress
+  /// rounds at full rate (<0 = spin forever), then sched-yield this many
+  /// rounds (<0 = never sleep), then sleep with exponential backoff capped
+  /// at 64us. Any progress resets the ladder. CVARs: MPX_WAIT_SPIN,
+  /// MPX_WAIT_YIELD.
+  int wait_spin = 200;
+  int wait_yield = 32;
 
   /// Simulated NIC thresholds: <= lightweight is buffered-and-forget
   /// (Fig. 1a); <= eager_max completes at injection-done (Fig. 1b); above

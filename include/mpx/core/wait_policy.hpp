@@ -1,0 +1,62 @@
+// mpx/core/wait_policy.hpp
+//
+// Adaptive spin -> yield -> sleep backoff for blocking wait loops.
+//
+// The paper's wait-block anatomy (§2) assumes the waiter IS the progress
+// engine: wait() calls progress in a loop until the completion flag flips.
+// That is the right shape when the waiter's polling moves its own message —
+// but with more waiters than cores (fig09's thread-contention scenario),
+// full-rate spinning steals cycles from the rank that is actually making
+// progress. The ladder here keeps the fast path fast (pure cpu_relax spin
+// for the first `spin` empty rounds — an eager shm round-trip completes well
+// inside it) and degrades gracefully: `yield` rounds of sched-yield, then
+// exponential sleeps capped at 64us. Any productive progress round resets
+// the ladder to the spin phase.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "mpx/base/thread.hpp"
+
+namespace mpx::core_detail {
+
+/// Tunables (WorldConfig::wait_spin / wait_yield; MPX_WAIT_SPIN /
+/// MPX_WAIT_YIELD). Negative spin: spin forever (never yield or sleep —
+/// the paper's original full-rate loop). Negative yield: never sleep.
+struct WaitPolicy {
+  int spin = 200;
+  int yield = 32;
+};
+
+class WaitBackoff {
+ public:
+  explicit WaitBackoff(WaitPolicy p) : p_(p) {}
+
+  /// Call after a progress round that moved something: restart the ladder.
+  void reset() { idle_ = 0; }
+
+  /// Call after an empty progress round.
+  void pause() {
+    ++idle_;
+    if (p_.spin < 0 || idle_ <= static_cast<long>(p_.spin)) {
+      base::cpu_relax();
+      return;
+    }
+    const long past_spin = idle_ - p_.spin;
+    if (p_.yield < 0 || past_spin <= static_cast<long>(p_.yield)) {
+      std::this_thread::yield();
+      return;
+    }
+    const long over = past_spin - p_.yield - 1;
+    const unsigned shift = over < 6 ? static_cast<unsigned>(over) : 6U;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(std::int64_t{1} << shift));  // 1us..64us
+  }
+
+ private:
+  WaitPolicy p_;
+  long idle_ = 0;
+};
+
+}  // namespace mpx::core_detail

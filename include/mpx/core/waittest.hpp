@@ -12,6 +12,7 @@
 
 #include "mpx/core/request.hpp"
 #include "mpx/core/stream.hpp"
+#include "mpx/core/wait_policy.hpp"
 
 namespace mpx {
 
@@ -44,10 +45,18 @@ std::vector<std::size_t> test_some(std::span<Request> reqs);
 Status wait_on_stream(Request& req, const Stream& stream);
 
 /// Spin progress on `stream` until `pred()` returns true (e.g. a counter
-/// decremented by async poll functions, Listing 1.3).
+/// decremented by async poll functions, Listing 1.3). Uses the default
+/// wait backoff ladder (wait_policy.hpp) on empty progress rounds.
 template <class Pred>
 void progress_until(const Stream& stream, Pred&& pred) {
-  while (!pred()) stream_progress(stream);
+  core_detail::WaitBackoff backoff{core_detail::WaitPolicy{}};
+  while (!pred()) {
+    if (stream_progress(stream) != 0) {
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
 }
 
 }  // namespace mpx

@@ -1,19 +1,34 @@
 // mpx/shm/shm_transport.hpp
 //
 // Intra-node transport: the "shmem" subsystem of the collated progress
-// function (third hook in Listing 1.1). Models MPICH's shared-memory netmod:
+// function (third hook in Listing 1.1). Models MPICH's shared-memory netmod
+// as a true fixed-slot cell datapath:
 //
-//  - Eager path: fixed-capacity SPSC "cell" rings per directed (src, dst, vci)
-//    channel. A send copies its payload into an envelope and pushes it; if the
-//    ring is full the envelope parks on a sender-side pending queue that the
-//    sender's own progress retries (exactly why send-side progress matters).
-//  - Large-message path (LMT): the core protocol sends an `rts` carrying the
-//    exporter's buffer address; the receiver copies directly and replies with
-//    an `ack`. The transport just carries those control messages.
+//  - Eager path: per directed (src, dst, vci) channel, a bounded ring of
+//    cache-line-aligned inline cells. A small send copies its payload
+//    directly into the shared slot (header + payload in-slot, one copy);
+//    mid-size payloads (slot < n <= eager max) ride in a size-classed
+//    pooled block referenced by the cell. No heap envelope, no Msg
+//    ownership transfer, no allocation on the in-slot path. When the ring
+//    is full the send parks on a sender-side pending queue that the
+//    sender's own progress retries in bulk (exactly why send-side progress
+//    matters).
+//  - Large-message path (LMT): the core protocol sends an `rts` carrying
+//    the exporter's buffer address; the receiver copies directly and
+//    replies with an `ack`. Those control messages are header-only cells.
 //
-// Because ranks share one address space here, a "cell" is an owned heap
-// envelope rather than a slot in a mmap'd segment; queue discipline, capacity
-// limits, and progress behaviour are the same.
+// Ring protocol. Producers (any thread holding some VCI lock of the source
+// rank) serialize on a per-channel spinlock and publish a cell with one
+// release store of `head`; the consumer (serialized externally by the
+// destination VCI's lock — see poll()) drains up to `deliver_batch` cells
+// with a single acquire load of `head` and republishes `tail` once per
+// batch, amortizing the fence pair over the whole batch. Inline cells are
+// handed to the sink as zero-copy views (TransportSink::on_msg_inline);
+// the slot is reused only after the batch's tail publish.
+//
+// Because ranks share one address space here, the "shared segment" is a
+// per-channel arena allocated lazily on first use; queue discipline,
+// capacity limits, and progress behaviour match the mmap'd-segment design.
 #pragma once
 
 #include <atomic>
@@ -21,12 +36,14 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "mpx/base/buffer.hpp"
 #include "mpx/base/lock_rank.hpp"
-#include "mpx/base/queue.hpp"
 #include "mpx/base/spinlock.hpp"
 #include "mpx/base/thread_safety.hpp"
+#include "mpx/mc/sync.hpp"
 #include "mpx/transport/msg.hpp"
 
 namespace mpx::shm {
@@ -34,71 +51,151 @@ namespace mpx::shm {
 /// Statistics for observability and tests.
 struct ShmStats {
   std::uint64_t sends = 0;
-  std::uint64_t ring_full_events = 0;  ///< pushes deferred to pending queue
+  /// Push attempts (fresh sends and parked retries) that observed a full
+  /// ring. Parking behind an already-backlogged endpoint — which never
+  /// probes the ring — is NOT counted: this counts full-slot stalls.
+  std::uint64_t ring_full_events = 0;
   std::uint64_t delivered = 0;
+  /// Delivery drains that moved two or more cells under one acquire/publish
+  /// pair (the fence-amortization the batched consumer exists for).
+  std::uint64_t batched_deliveries = 0;
+  /// Non-empty payloads stored directly in the cell slot (no pooled block).
+  std::uint64_t inline_payload_hits = 0;
 };
 
 class ShmTransport {
  public:
-  /// `nranks` endpoints, `max_vcis` channels each, rings of `cells` entries.
-  ShmTransport(int nranks, int max_vcis, std::size_t cells);
+  /// `nranks` endpoints, `max_vcis` channels each. `cells` per-channel ring
+  /// slots (rounded up to a power of two), each holding up to `slot_bytes`
+  /// of payload in-slot; poll() delivers at most `deliver_batch` cells per
+  /// channel per call.
+  ShmTransport(int nranks, int max_vcis, std::size_t cells,
+               std::size_t slot_bytes = 256, int deliver_batch = 16);
+  ~ShmTransport();
 
   ShmTransport(const ShmTransport&) = delete;
   ShmTransport& operator=(const ShmTransport&) = delete;
 
   /// Send `m` from m.h.src_rank to m.h.dst_rank on channel m.h.dst_vci.
   ///
-  /// Returns true if the message was placed in the ring immediately. Returns
-  /// false when the ring was full: the message is parked and `cookie` (if
-  /// nonzero) will be reported via on_send_complete once it drains. For
-  /// immediate placements the payload was copied out, so the operation is
-  /// already locally complete and no on_send_complete fires.
+  /// Returns true if the message was placed in the ring immediately (its
+  /// payload copied in-slot or its owned buffer moved into the cell), so
+  /// the operation is locally complete and no on_send_complete fires.
+  /// Returns false when the send had to park: `cookie` (if nonzero) will be
+  /// reported via on_send_complete once it drains.
   bool send(transport::Msg&& m, std::uint64_t cookie);
 
-  /// Poll the (rank, vci) endpoint: retry parked sends originating from this
-  /// side, then deliver arrived messages to `sink`.
+  /// Zero-envelope eager send: copy `payload` straight from the user (or
+  /// staging) buffer into the channel — in-slot when it fits `slot_bytes`,
+  /// into a size-classed pooled block otherwise. Never takes ownership of
+  /// `payload`; the copy happens before return even when the send parks.
+  /// Same return/cookie contract as send().
+  bool send_eager(const transport::MsgHeader& h, base::ConstByteSpan payload,
+                  std::uint64_t cookie);
+
+  /// Poll the (rank, vci) endpoint: retry parked sends originating from
+  /// this side in bulk, then drain up to `deliver_batch` arrived cells per
+  /// source channel into `sink`. Inline cells are delivered as zero-copy
+  /// views (on_msg_inline); pooled-overflow cells as owned Msgs (on_msg).
   /// Sets *made_progress when anything moved.
+  ///
+  /// Serialization contract: poll() for one (rank, vci) must not run
+  /// concurrently with itself (the VCI lock provides this). Re-entrant
+  /// calls from inside the sink are detected and skip the delivery stage —
+  /// the outer drain still owns its batch's cells.
   void poll(int rank, int vci, transport::TransportSink& sink,
             int* made_progress);
 
-  /// True when the endpoint has nothing queued in any direction. Used for the
-  /// cheap "empty poll" check the paper relies on (§2.6).
+  /// True when the endpoint has nothing queued in any direction. Used for
+  /// the cheap "empty poll" check the paper relies on (§2.6).
   bool idle(int rank, int vci) const;
 
   ShmStats stats() const;
 
+  /// Geometry actually in use (after rounding), for tests and bench labels.
+  std::size_t cells() const { return cells_; }
+  std::size_t slot_bytes() const { return slot_bytes_; }
+  int deliver_batch() const { return deliver_batch_; }
+
  private:
+  /// One ring slot. Placement-constructed in the channel arena; the inline
+  /// payload area is the `slot_bytes_` bytes immediately after the struct.
+  struct Cell {
+    transport::MsgHeader h;
+    base::Buffer overflow;  ///< engaged when the payload outgrew the slot
+    std::uint32_t inline_bytes = 0;
+
+    std::byte* inline_data() { return reinterpret_cast<std::byte*>(this + 1); }
+  };
+
   struct Channel {
-    // SPSC discipline: only src's threads push (under src's vci lock), only
-    // dst's threads pop (under dst's vci lock); the spinlock makes the
-    // channel safe even when users progress one vci from several threads.
+    // Producer side: any thread holding one of the source rank's VCI locks
+    // may push, so producers serialize on this spinlock. The consumer never
+    // takes it — it synchronizes through the head/tail protocol below.
     // Rank transport_channel: poll() nests a channel lock inside the
     // pending lock (rank transport) when flushing parked sends.
     mutable base::Spinlock mu{"shm:channel", base::LockRank::transport_channel};
-    std::deque<transport::Msg> ring MPX_GUARDED_BY(mu);
+    /// Next slot to write. Written only by producers (under mu), published
+    /// with release; the consumer's acquire load owns everything below it.
+    alignas(64) mc::atomic<std::uint32_t> head{0};
+    /// Next slot to read. Written only by the (externally serialized)
+    /// consumer, once per batch, with release; producers' acquire loads use
+    /// it to detect free slots (slot reuse is ordered by this edge).
+    alignas(64) mc::atomic<std::uint32_t> tail{0};
+    /// Cell arena, allocated lazily by the first producer (under mu; the
+    /// write is ordered for the consumer by the first head release-store
+    /// and for later producers by mu itself).
+    std::byte* arena = nullptr;
   };
-  struct Pending {
+
+  /// Sender-side endpoint state for (rank, vci).
+  struct Endpoint {
     mutable base::Spinlock mu{"shm:pending", base::LockRank::transport};
     std::deque<std::pair<transport::Msg, std::uint64_t>> q MPX_GUARDED_BY(mu);
     /// Mirrors q.size(); maintained under mu, read lock-free by poll() as
     /// the fast-path "nothing parked" check (§2.6 empty-poll cost).
     std::atomic<std::uint32_t> count{0};
+    /// Consumer-side re-entrancy guard (see poll()). Only ever touched by
+    /// the externally-serialized consumer of this endpoint, hence plain.
+    bool delivering = false;
   };
 
   Channel& channel(int src, int dst, int vci);
   const Channel& channel(int src, int dst, int vci) const;
-  Pending& pending(int rank, int vci);
-  const Pending& pending(int rank, int vci) const;
+  Endpoint& endpoint(int rank, int vci);
+  const Endpoint& endpoint(int rank, int vci) const;
+
+  Cell& cell_at(Channel& ch, std::uint32_t idx);
+  void init_arena(Channel& ch) MPX_REQUIRES(ch.mu);
+
+  /// Producer push under ch.mu. `payload` is copied in-slot; a non-empty
+  /// `overflow` buffer is moved into the cell instead (exactly one of the
+  /// two is meaningful). Returns false (leaving `overflow` intact) when the
+  /// ring is full.
+  bool push_cell(Channel& ch, const transport::MsgHeader& h,
+                 base::ConstByteSpan payload, base::Buffer& overflow)
+      MPX_REQUIRES(ch.mu);
+
+  /// Place a parked/owned Msg; routes payload in-slot when it fits.
+  bool push_msg(Channel& ch, transport::Msg& m) MPX_REQUIRES(ch.mu);
+
+  /// Park a send on its endpoint's pending queue, preserving FIFO order.
+  void park(Endpoint& ep, transport::Msg&& m, std::uint64_t cookie);
 
   int nranks_;
   int max_vcis_;
-  std::size_t cells_;
-  std::vector<Channel> channels_;  // [src][dst][vci]
-  std::vector<Pending> pending_;   // [rank][vci]
+  std::size_t cells_;       ///< ring capacity, power of two
+  std::size_t slot_bytes_;  ///< inline payload capacity per cell
+  std::size_t stride_;      ///< bytes per cell incl. inline area, 64-aligned
+  int deliver_batch_;
+  std::vector<Channel> channels_;   // [src][dst][vci]
+  std::vector<Endpoint> endpoints_;  // [rank][vci]
 
   std::atomic<std::uint64_t> sends_{0};
   std::atomic<std::uint64_t> ring_full_{0};
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> batched_{0};
+  std::atomic<std::uint64_t> inline_hits_{0};
 };
 
 }  // namespace mpx::shm

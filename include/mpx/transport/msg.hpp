@@ -56,6 +56,18 @@ class TransportSink {
   /// A message arrived for the polled (rank, vci).
   virtual void on_msg(Msg&& m) = 0;
 
+  /// Zero-copy variant: the transport delivers a view of its own storage
+  /// (e.g. a shm ring slot). `payload` is valid only for the duration of
+  /// the call — the sink must consume it (copy into the posted receive or
+  /// into unexpected storage) before returning. The default materializes
+  /// an owned Msg so sinks that only implement on_msg keep working.
+  virtual void on_msg_inline(const MsgHeader& h, base::ConstByteSpan payload) {
+    Msg m;
+    m.h = h;
+    m.payload = base::Buffer::copy_of(payload);
+    on_msg(std::move(m));
+  }
+
   /// A previously-posted local injection identified by `cookie` finished
   /// (the source buffer is no longer in use by the transport).
   virtual void on_send_complete(std::uint64_t cookie) = 0;

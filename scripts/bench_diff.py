@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSONL run against the checked-in perf baseline.
+
+The repo root carries BENCH_pr<N>.json: JSON Lines emitted by the bench
+binaries (bench_util.hpp json_emit), post-processed with a "phase" field —
+"pre" lines are the numbers measured before the PR's change, "post" lines
+after. CI re-runs the benches and calls this script to diff the fresh
+numbers against the checked-in "post" phase; a watched variant that got
+more than --max-regress slower fails the job.
+
+Usage:
+  bench_diff.py --baseline BENCH_pr4.json --fresh fresh.json \
+      --watch fig01_message_modes:wall_shm_8b:wall_us_msg \
+      --watch fig01_message_modes:wall_shm_4096b:wall_us_msg \
+      --max-regress 0.25
+
+Each --watch is bench:variant:metric. When several lines exist for the same
+(bench, variant) — repeated runs appended to one file — they are folded with
+--stat: "median" (the default) keeps a single noisy run on the shared CI box
+from tripping the gate; "min" is the right estimator for latency metrics,
+where interference only ever adds time (a descheduled 500-iteration smoke
+window can triple one run's number without the code being any slower).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path, phase=None):
+    """-> {(bench, variant): [record, ...]} for records matching `phase`.
+
+    phase=None accepts any line; otherwise a line matches when its "phase"
+    equals `phase` or it has no phase at all (raw bench output).
+    """
+    out = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: bad JSON line: {e}")
+            if phase is not None and rec.get("phase", phase) != phase:
+                continue
+            key = (rec.get("bench"), rec.get("variant"))
+            out.setdefault(key, []).append(rec)
+    return out
+
+
+def fold_metric(records, metric, stat, what):
+    vals = [r[metric] for r in records if metric in r]
+    if not vals:
+        sys.exit(f"error: no '{metric}' values for {what}")
+    return min(vals) if stat == "min" else statistics.median(vals)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in JSONL baseline (phase-annotated)")
+    ap.add_argument("--fresh", required=True,
+                    help="JSONL from the current run")
+    ap.add_argument("--watch", action="append", required=True,
+                    metavar="BENCH:VARIANT:METRIC",
+                    help="series to gate (repeatable)")
+    ap.add_argument("--max-regress", type=float, default=0.25,
+                    help="max allowed slowdown fraction (default 0.25)")
+    ap.add_argument("--phase", default="post",
+                    help="baseline phase to compare against (default: post)")
+    ap.add_argument("--stat", choices=("median", "min"), default="median",
+                    help="fold repeated runs with this statistic "
+                         "(default: median; use min for latency metrics)")
+    args = ap.parse_args()
+
+    base = load(args.baseline, phase=args.phase)
+    fresh = load(args.fresh)
+
+    failed = False
+    for watch in args.watch:
+        try:
+            bench, variant, metric = watch.split(":")
+        except ValueError:
+            sys.exit(f"error: bad --watch '{watch}' (want bench:variant:metric)")
+        key = (bench, variant)
+        if key not in base:
+            sys.exit(f"error: baseline {args.baseline} has no "
+                     f"phase={args.phase} records for {bench}/{variant}")
+        if key not in fresh:
+            sys.exit(f"error: fresh run {args.fresh} has no records for "
+                     f"{bench}/{variant}")
+        b = fold_metric(base[key], metric, args.stat,
+                        f"baseline {bench}/{variant}")
+        f = fold_metric(fresh[key], metric, args.stat,
+                        f"fresh {bench}/{variant}")
+        if b <= 0:
+            sys.exit(f"error: non-positive baseline value for {bench}/{variant}")
+        delta = (f - b) / b
+        status = "OK"
+        if delta > args.max_regress:
+            status = "REGRESSION"
+            failed = True
+        print(f"{status:>10}  {bench}/{variant} {metric}: "
+              f"baseline {b:.4g}, fresh {f:.4g} ({delta:+.1%}, "
+              f"limit +{args.max_regress:.0%})")
+
+    if failed:
+        print("bench_diff: regression beyond threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

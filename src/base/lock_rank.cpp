@@ -5,7 +5,6 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
 #if defined(__GLIBC__)
 #include <execinfo.h>
@@ -36,17 +35,30 @@ namespace {
 constexpr int kMaxFrames = 24;
 
 /// One held ranked lock. The backtrace is captured only when backtrace
-/// recording is on (it costs an unwind per acquire).
+/// recording is on (it costs an unwind per acquire); with capture off the
+/// frames array is never written, so a push touches only the first three
+/// fields.
 struct Held {
-  const void* lock = nullptr;
-  const char* name = nullptr;
-  LockRank rank = LockRank::none;
-  int n_frames = 0;
+  const void* lock;
+  const char* name;
+  LockRank rank;
+  int n_frames;
   void* frames[kMaxFrames];
 };
 
-/// Per-thread stack of held ranked locks, in acquisition order.
-thread_local std::vector<Held> t_held;
+/// Per-thread stack of held ranked locks, in acquisition order. The
+/// validator sits on every ranked acquire/release of the datapath, so the
+/// stack is a fixed-capacity array written in place: no heap traffic, no
+/// element copies, and the (overwhelmingly common) LIFO release pops in
+/// O(1). The capacity is far above the deepest legal chain — the rank
+/// order itself bounds nesting to one lock per rank plus recursive
+/// re-acquisitions.
+constexpr std::size_t kMaxHeld = 64;
+struct HeldStack {
+  std::size_t n = 0;
+  Held slots[kMaxHeld];
+};
+thread_local HeldStack t_held;
 
 std::atomic<int> g_enabled{-1};     // -1: read env on first use
 std::atomic<int> g_backtraces{-1};  // -1: read env on first use
@@ -110,7 +122,8 @@ void dump_frames(void* const* frames, int n, const char* what) {
                "(vci < stream < task_queue < transport); see "
                "docs/architecture.md \"Threading model & lock hierarchy\"\n");
   std::fprintf(stderr, "held ranked locks (acquisition order):\n");
-  for (const Held& h : t_held) {
+  for (std::size_t i = 0; i < t_held.n; ++i) {
+    const Held& h = t_held.slots[i];
     std::fprintf(stderr, "  - \"%s\" (rank %s=%d, %p)\n", h.name,
                  lock_rank_name(h.rank), static_cast<int>(h.rank), h.lock);
   }
@@ -127,12 +140,19 @@ void dump_frames(void* const* frames, int n, const char* what) {
 }
 
 void push(const void* lock, const char* name, LockRank rank) {
-  Held h;
+  if (t_held.n == kMaxHeld) {
+    std::fprintf(stderr,
+                 "mpx lock-rank: %zu ranked locks held by one thread — "
+                 "acquisitions are leaking; aborting\n",
+                 kMaxHeld);
+    std::fflush(stderr);
+    std::abort();
+  }
+  Held& h = t_held.slots[t_held.n++];
   h.lock = lock;
   h.name = name != nullptr ? name : "<unnamed>";
   h.rank = rank;
   capture(h);
-  t_held.push_back(h);
 }
 
 }  // namespace
@@ -155,7 +175,8 @@ void on_acquire(const void* lock, const char* name, LockRank rank) {
   // recursive InstrumentedMutex; skip the order check but still push so the
   // matching unlock pops correctly.
   const Held* conflicting = nullptr;
-  for (const Held& h : t_held) {
+  for (std::size_t i = 0; i < t_held.n; ++i) {
+    const Held& h = t_held.slots[i];
     if (h.lock == lock) {
       push(lock, name, rank);
       return;
@@ -178,9 +199,14 @@ void on_try_acquire(const void* lock, const char* name, LockRank rank) {
 
 void on_release(const void* lock) noexcept {
   if (!enabled()) return;
-  for (std::size_t i = t_held.size(); i > 0; --i) {
-    if (t_held[i - 1].lock == lock) {
-      t_held.erase(t_held.begin() + static_cast<std::ptrdiff_t>(i - 1));
+  // LIFO release is the overwhelmingly common case: pop the top slot
+  // without a scan. Out-of-order releases shift the tail down in place.
+  for (std::size_t i = t_held.n; i > 0; --i) {
+    if (t_held.slots[i - 1].lock == lock) {
+      for (std::size_t j = i; j < t_held.n; ++j) {
+        t_held.slots[j - 1] = t_held.slots[j];
+      }
+      --t_held.n;
       return;
     }
   }
@@ -188,7 +214,7 @@ void on_release(const void* lock) noexcept {
   // enabled between acquire and release (test toggles); ignore.
 }
 
-std::size_t held_count() noexcept { return t_held.size(); }
+std::size_t held_count() noexcept { return t_held.n; }
 
 }  // namespace lock_rank
 }  // namespace mpx::base

@@ -174,6 +174,25 @@ void handle_eager(Vci& v, Msg&& m) MPX_REQUIRES(v.mu) {
   park_unexpected(v, std::move(m));
 }
 
+/// Zero-copy eager arrival: `payload` views transport-owned storage (a shm
+/// ring slot) valid only for this call. A matched receive copies straight
+/// slot -> user buffer (the single receive-side copy); an unmatched arrival
+/// is the one case that must materialize owned storage (pooled block).
+void handle_eager_inline(Vci& v, const MsgHeader& h, base::ConstByteSpan data)
+    MPX_REQUIRES(v.mu) {
+  if (RequestImpl* rreq = pop_posted(v, h); rreq != nullptr) {
+    base::Ref<RequestImpl> own(rreq);  // adopt the posted-list reference
+    trace_emit(v, trace::Event::match, h.src_rank, h.tag, h.total_bytes);
+    deliver_eager(rreq, h, data);
+    return;
+  }
+  trace_emit(v, trace::Event::unexpected, h.src_rank, h.tag, h.total_bytes);
+  UnexpMsg* u = v.unexp_pool.acquire();
+  u->msg.h = h;
+  u->msg.payload = base::pooled_copy(data);
+  v.unexpected.push_back(u);
+}
+
 void handle_rts(Vci& v, Msg&& m) MPX_REQUIRES(v.mu) {
   trace_emit(v, trace::Event::rts, m.h.src_rank, m.h.tag, m.h.total_bytes);
   if (RequestImpl* rreq = pop_posted(v, m.h); rreq != nullptr) {
@@ -254,6 +273,20 @@ class VciSink final : public transport::TransportSink {
       case MsgKind::data: handle_data(v_, std::move(m)); break;
       case MsgKind::ack: handle_ack(v_, std::move(m)); break;
     }
+  }
+
+  void on_msg_inline(const MsgHeader& h, base::ConstByteSpan payload)
+      override MPX_REQUIRES(v_.mu) {
+    if (h.kind == MsgKind::eager) {
+      handle_eager_inline(v_, h, payload);
+      return;
+    }
+    // Control messages (rts/cts/ack) are header-only; data chunks never
+    // arrive inline on shm. Materialize for the regular handlers.
+    Msg m;
+    m.h = h;
+    m.payload = base::Buffer::copy_of(payload);
+    on_msg(std::move(m));
   }
 
   void on_send_complete(std::uint64_t cookie) override MPX_REQUIRES(v_.mu) {
@@ -385,9 +418,15 @@ Request isend_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
     if (!sync && r->total_bytes <= cfg.shm_eager_max) {
       r->proto = SendProto::shm_eager;
       m.h.kind = MsgKind::eager;
-      m.payload = base::pooled_copy(base::ConstByteSpan(
-          r->send_src, static_cast<std::size_t>(r->total_bytes)));
-      w.shm_transport().send(std::move(m), 0);
+      // Zero-envelope: the payload is copied straight from the user (or
+      // staging) buffer into the ring slot — or a pooled block for
+      // mid-size messages — before send_eager returns, so the operation
+      // is locally complete even when the send parks.
+      w.shm_transport().send_eager(
+          m.h,
+          base::ConstByteSpan(r->send_src,
+                              static_cast<std::size_t>(r->total_bytes)),
+          0);
       r->status.count_bytes = r->total_bytes;
       complete_request(r, Err::success);
     } else {

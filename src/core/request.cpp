@@ -2,20 +2,33 @@
 // blocking forms follow the paper's scheme: check is_complete() (one atomic
 // read) and otherwise drive the collated progress of the request's VCI.
 #include "internal.hpp"
+#include "mpx/core/wait_policy.hpp"
 #include "mpx/core/waittest.hpp"
 
 namespace mpx {
 
 using core_detail::progress_test;
 using core_detail::RequestImpl;
+using core_detail::WaitBackoff;
+using core_detail::WaitPolicy;
 
 namespace {
 
-/// Drive one progress pass on the VCI owning `r`.
-void progress_for(RequestImpl* r) {
+/// Drive one progress pass on the VCI owning `r`; returns nonzero when the
+/// pass moved anything (feeds the wait backoff ladder).
+int progress_for(RequestImpl* r) {
   if (r->vci != nullptr) {
-    progress_test(*r->vci, r->vci->default_mask);
+    return progress_test(*r->vci, r->vci->default_mask);
   }
+  return 0;
+}
+
+WaitPolicy wait_policy_for(const RequestImpl* r) {
+  if (r->world != nullptr) {
+    const WorldConfig& cfg = r->world->config();
+    return WaitPolicy{cfg.wait_spin, cfg.wait_yield};
+  }
+  return WaitPolicy{};
 }
 
 }  // namespace
@@ -23,8 +36,13 @@ void progress_for(RequestImpl* r) {
 Status Request::wait() {
   expects(valid(), "Request::wait: invalid request");
   RequestImpl* r = impl_.get();
+  WaitBackoff backoff{wait_policy_for(r)};
   while (!r->complete.load(std::memory_order_acquire)) {
-    progress_for(r);
+    if (progress_for(r) != 0) {
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
   }
   return r->status;
 }
@@ -64,22 +82,35 @@ void Request::cancel() {
 
 Status wait_on_stream(Request& req, const Stream& stream) {
   expects(req.valid(), "wait_on_stream: invalid request");
+  WaitBackoff backoff{wait_policy_for(req.impl())};
   while (!req.is_complete()) {
-    stream_progress(stream);
+    if (stream_progress(stream) != 0) {
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
   }
   return req.status();
 }
 
 void wait_all(std::span<Request> reqs) {
+  WaitBackoff backoff{reqs.empty() ? WaitPolicy{}
+                                   : wait_policy_for(reqs.front().impl())};
   for (;;) {
     bool all = true;
+    int made = 0;
     for (Request& r : reqs) {
       if (!r.is_complete()) {
         all = false;
-        progress_for(r.impl());
+        made |= progress_for(r.impl());
       }
     }
     if (all) return;
+    if (made != 0) {
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
   }
 }
 
@@ -115,15 +146,22 @@ bool test_all(std::span<Request> reqs) {
 
 std::size_t wait_any(std::span<Request> reqs) {
   expects(!reqs.empty(), "wait_any: empty request set");
+  WaitBackoff backoff{wait_policy_for(reqs.front().impl())};
   for (;;) {
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       if (reqs[i].valid() && reqs[i].is_complete()) return i;
     }
+    int made = 0;
     for (Request& r : reqs) {
       if (r.valid() && !r.is_complete()) {
-        progress_for(r.impl());
+        made = progress_for(r.impl());
         break;  // one pass at a time; re-scan for completions
       }
+    }
+    if (made != 0) {
+      backoff.reset();
+    } else {
+      backoff.pause();
     }
   }
 }

@@ -18,6 +18,10 @@ WorldConfig WorldConfig::from_env(int nranks) {
   c.shm_eager_max =
       static_cast<std::size_t>(b::cvar_int("MPX_SHM_EAGER_MAX", 64 * 1024));
   c.shm_cells = static_cast<std::size_t>(b::cvar_int("MPX_SHM_CELLS", 64));
+  c.shm_slot_bytes =
+      static_cast<std::size_t>(b::cvar_int("MPX_SHM_SLOT_BYTES", 256));
+  c.shm_deliver_batch =
+      static_cast<int>(b::cvar_int("MPX_SHM_DELIVER_BATCH", 16));
   c.shm_lmt_chunk =
       static_cast<std::size_t>(b::cvar_int("MPX_SHM_LMT_CHUNK", 256 * 1024));
   c.net_lightweight_max =
@@ -40,6 +44,8 @@ WorldConfig WorldConfig::from_env(int nranks) {
   c.match_bins = static_cast<int>(b::cvar_int("MPX_MATCH_BINS", 64));
   c.pool_unexp_cap =
       static_cast<int>(b::cvar_int("MPX_POOL_UNEXP_CAP", 256));
+  c.wait_spin = static_cast<int>(b::cvar_int("MPX_WAIT_SPIN", 200));
+  c.wait_yield = static_cast<int>(b::cvar_int("MPX_WAIT_YIELD", 32));
   return c;
 }
 
@@ -97,8 +103,9 @@ World::World(WorldConfig cfg) : s_(std::make_unique<State>()) {
   } else {
     s_->clock = std::make_unique<base::SteadyClock>();
   }
-  s_->shm = std::make_unique<shm::ShmTransport>(cfg.nranks, cfg.max_vcis,
-                                                cfg.shm_cells);
+  s_->shm = std::make_unique<shm::ShmTransport>(
+      cfg.nranks, cfg.max_vcis, cfg.shm_cells, cfg.shm_slot_bytes,
+      cfg.shm_deliver_batch);
   s_->nic =
       std::make_unique<net::Nic>(cfg.nranks, cfg.max_vcis, cfg.net, *s_->clock);
   s_->ranks.reserve(static_cast<std::size_t>(cfg.nranks));

@@ -80,6 +80,156 @@ TEST(ShmTransport, RingFullParksAndSenderProgressFlushes) {
   EXPECT_EQ(s1.msgs[5].h.tag, 5);
 }
 
+TEST(ShmTransport, GeometryRoundsCellsToPowerOfTwo) {
+  shm::ShmTransport t(2, 1, /*cells=*/5, /*slot_bytes=*/100);
+  EXPECT_EQ(t.cells(), 8u);
+  EXPECT_GE(t.slot_bytes(), 100u);  // stride padding donated to the slot
+}
+
+TEST(ShmTransport, RingFullEventsCountSlotStallsNotBacklogParks) {
+  shm::ShmTransport t(2, 1, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(t.send(make_msg(0, 1, i), 0));
+  // Fresh send probing a full ring: one stall.
+  EXPECT_FALSE(t.send(make_msg(0, 1, 4), 0));
+  EXPECT_EQ(t.stats().ring_full_events, 1u);
+  // Parking behind the existing backlog never probes the ring: no stall.
+  EXPECT_FALSE(t.send(make_msg(0, 1, 5), 0));
+  EXPECT_FALSE(t.send(make_msg(0, 1, 6), 0));
+  EXPECT_EQ(t.stats().ring_full_events, 1u);
+  // A sender-progress flush attempt that still finds the ring full: stall.
+  RecordingSink s0;
+  t.poll(0, 0, s0, nullptr);
+  EXPECT_EQ(t.stats().ring_full_events, 2u);
+}
+
+TEST(ShmTransport, BatchedDeliveryAndInlineHitCounters) {
+  shm::ShmTransport t(2, 1, 16, /*slot_bytes=*/64, /*deliver_batch=*/16);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(t.send(make_msg(0, 1, i, /*payload=*/32), 0));
+  }
+  RecordingSink sink;
+  t.poll(1, 0, sink, nullptr);
+  ASSERT_EQ(sink.msgs.size(), 6u);
+  const shm::ShmStats st = t.stats();
+  EXPECT_EQ(st.delivered, 6u);
+  EXPECT_EQ(st.batched_deliveries, 1u);  // one drain moved all six cells
+  EXPECT_EQ(st.inline_payload_hits, 6u);
+}
+
+TEST(ShmTransport, DeliverBatchCapsCellsPerPoll) {
+  shm::ShmTransport t(2, 1, 16, /*slot_bytes=*/64, /*deliver_batch=*/2);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(t.send(make_msg(0, 1, i), 0));
+  RecordingSink sink;
+  t.poll(1, 0, sink, nullptr);
+  EXPECT_EQ(sink.msgs.size(), 2u);  // capped at deliver_batch
+  t.poll(1, 0, sink, nullptr);
+  EXPECT_EQ(sink.msgs.size(), 4u);
+  t.poll(1, 0, sink, nullptr);
+  ASSERT_EQ(sink.msgs.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(sink.msgs[i].h.tag, i);
+  EXPECT_EQ(t.stats().batched_deliveries, 2u);  // the 1-cell drain is not
+}
+
+TEST(ShmTransport, SendEagerCopiesInSlotAndNeverOwnsThePayload) {
+  shm::ShmTransport t(2, 1, 8, /*slot_bytes=*/64);
+  std::vector<std::byte> buf(48);
+  for (std::size_t j = 0; j < buf.size(); ++j) {
+    buf[j] = std::byte{static_cast<unsigned char>(j * 3 + 1)};
+  }
+  transport::MsgHeader h = make_msg(0, 1, 7).h;
+  h.total_bytes = buf.size();
+  EXPECT_TRUE(t.send_eager(h, base::ConstByteSpan(buf.data(), buf.size()), 0));
+  // Clobber the source immediately: the slot copy happened before return.
+  std::fill(buf.begin(), buf.end(), std::byte{0xee});
+
+  RecordingSink sink;
+  t.poll(1, 0, sink, nullptr);
+  ASSERT_EQ(sink.msgs.size(), 1u);
+  ASSERT_EQ(sink.msgs[0].payload.size(), 48u);
+  for (std::size_t j = 0; j < 48; ++j) {
+    EXPECT_EQ(sink.msgs[0].payload.data()[j],
+              std::byte{static_cast<unsigned char>(j * 3 + 1)});
+  }
+  EXPECT_EQ(t.stats().inline_payload_hits, 1u);
+}
+
+TEST(ShmTransport, SendEagerOverflowsToOwnedBufferAboveSlotBytes) {
+  shm::ShmTransport t(2, 1, 8, /*slot_bytes=*/64);
+  std::vector<std::byte> buf(300);
+  for (std::size_t j = 0; j < buf.size(); ++j) {
+    buf[j] = std::byte{static_cast<unsigned char>(j)};
+  }
+  transport::MsgHeader h = make_msg(0, 1, 9).h;
+  h.total_bytes = buf.size();
+  EXPECT_TRUE(t.send_eager(h, base::ConstByteSpan(buf.data(), buf.size()), 0));
+  std::fill(buf.begin(), buf.end(), std::byte{0x11});
+
+  RecordingSink sink;
+  t.poll(1, 0, sink, nullptr);
+  ASSERT_EQ(sink.msgs.size(), 1u);
+  ASSERT_EQ(sink.msgs[0].payload.size(), 300u);
+  for (std::size_t j = 0; j < 300; ++j) {
+    EXPECT_EQ(sink.msgs[0].payload.data()[j],
+              std::byte{static_cast<unsigned char>(j)});
+  }
+  EXPECT_EQ(t.stats().inline_payload_hits, 0u);  // rode in the overflow buffer
+}
+
+TEST(ShmTransport, SendEagerParkedStillCompletesCookieAfterDrain) {
+  shm::ShmTransport t(2, 1, 2, /*slot_bytes=*/64);
+  std::vector<std::byte> buf(16, std::byte{0x42});
+  transport::MsgHeader h = make_msg(0, 1, 0).h;
+  h.total_bytes = buf.size();
+  EXPECT_TRUE(t.send_eager(h, base::ConstByteSpan(buf.data(), buf.size()), 0));
+  EXPECT_TRUE(t.send_eager(h, base::ConstByteSpan(buf.data(), buf.size()), 0));
+  // Ring full: parks, but the payload was copied (pooled) before return.
+  EXPECT_FALSE(t.send_eager(h, base::ConstByteSpan(buf.data(), buf.size()),
+                            /*cookie=*/55));
+  std::fill(buf.begin(), buf.end(), std::byte{0x00});
+
+  RecordingSink recv;
+  RecordingSink send_side;
+  t.poll(1, 0, recv, nullptr);           // drain the two in-ring messages
+  t.poll(0, 0, send_side, nullptr);      // flush the parked one
+  EXPECT_EQ(send_side.completions, (std::vector<std::uint64_t>{55}));
+  t.poll(1, 0, recv, nullptr);
+  ASSERT_EQ(recv.msgs.size(), 3u);
+  for (const Msg& m : recv.msgs) {
+    ASSERT_EQ(m.payload.size(), 16u);
+    EXPECT_EQ(m.payload.data()[0], std::byte{0x42});
+  }
+}
+
+namespace {
+
+/// Sink that re-enters poll() from inside a delivery callback — the shape
+/// of a completion callback calling back into progress. The re-entrant
+/// call must not re-deliver the outer batch's cells.
+struct ReentrantSink final : transport::TransportSink {
+  shm::ShmTransport* t = nullptr;
+  std::vector<int> tags;
+  void on_msg(Msg&& m) override {
+    tags.push_back(m.h.tag);
+    int made = 0;
+    t->poll(1, 0, *this, &made);  // re-enter the same endpoint's delivery
+  }
+  void on_send_complete(std::uint64_t) override {}
+};
+
+}  // namespace
+
+TEST(ShmTransport, ReentrantPollFromSinkDoesNotDuplicateDeliveries) {
+  shm::ShmTransport t(2, 1, 16);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(t.send(make_msg(0, 1, i), 0));
+  ReentrantSink sink;
+  sink.t = &t;
+  t.poll(1, 0, sink, nullptr);
+  ASSERT_EQ(sink.tags.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(sink.tags[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(t.stats().delivered, 4u);
+  EXPECT_TRUE(t.idle(1, 0));
+}
+
 TEST(ShmTransport, VciChannelsAreIndependent) {
   shm::ShmTransport t(2, 2, 8);
   EXPECT_TRUE(t.send(make_msg(0, 1, 10, 0, /*dst_vci=*/1), 0));
