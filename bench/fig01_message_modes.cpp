@@ -18,6 +18,7 @@
 
 #include "bench_util.hpp"
 #include "mpx/mpx.hpp"
+#include "mpx/net/nic.hpp"
 
 namespace {
 
@@ -60,7 +61,7 @@ ModeResult run_mode(std::size_t bytes) {
     }
   }
   r.recv_done_us = w->wtime() * 1e6;
-  r.wire_msgs = w->net_stats().injected;
+  r.wire_msgs = static_cast<net::Nic*>(w->find_transport("nic"))->stats().injected;
   return r;
 }
 

@@ -48,6 +48,13 @@ using AsyncPollFn = AsyncResult (*)(AsyncThing& thing);
 /// with implementation bookkeeping (paper §3.3).
 class AsyncThing {
  public:
+  /// Optional cleanup for the registered extra_state. Invoked exactly once
+  /// when the hook is destroyed WITHOUT its poll_fn having returned done —
+  /// stream_free / World teardown dropping pending hooks, or a hook parked
+  /// in a freed stream's inbox. When poll_fn returns done it has already
+  /// released the state (paper contract) and the deleter is disarmed.
+  using StateDeleter = void (*)(void*);
+
   /// MPIX_Async_get_state: the extra_state registered at async_start/spawn.
   void* state() const { return state_; }
 
@@ -55,8 +62,14 @@ class AsyncThing {
   Stream stream() const { return stream_; }
 
   /// MPIX_Async_spawn: register a follow-on task. Staged inside this thing
-  /// and processed after the current poll_fn returns.
-  void spawn(AsyncPollFn fn, void* extra_state, const Stream& stream);
+  /// and processed after the current poll_fn returns. `state_deleter`
+  /// (optional) cleans up extra_state on non-done destruction paths.
+  void spawn(AsyncPollFn fn, void* extra_state, const Stream& stream,
+             StateDeleter state_deleter = nullptr);
+
+  ~AsyncThing() {
+    if (deleter_ != nullptr && state_ != nullptr) deleter_(state_);
+  }
 
   /// One AsyncThing is allocated per registered hook; storage is recycled
   /// through a process-wide pool. The pool is thread-safe (not per-VCI)
@@ -73,12 +86,14 @@ class AsyncThing {
 
   AsyncPollFn fn_ = nullptr;
   void* state_ = nullptr;
+  StateDeleter deleter_ = nullptr;
   Stream stream_;
   // Staged spawns (drained by the runtime after poll_fn returns).
   struct SpawnRec {
     AsyncPollFn fn;
     void* state;
     Stream stream;
+    StateDeleter deleter;
   };
   std::vector<SpawnRec> spawned_;
   base::ListHook hook_;
@@ -104,7 +119,10 @@ inline void AsyncThing::operator delete(void* p) noexcept {
 }
 
 /// MPIX_Async_start: attach a user progress hook to `stream`.
-void async_start(AsyncPollFn fn, void* extra_state, const Stream& stream);
+/// `state_deleter` (optional) is invoked on extra_state if the hook is
+/// destroyed before poll_fn returns done (see AsyncThing::StateDeleter).
+void async_start(AsyncPollFn fn, void* extra_state, const Stream& stream,
+                 AsyncThing::StateDeleter state_deleter = nullptr);
 
 /// C++ convenience: register a callable polled until it returns done.
 /// The callable is owned by the runtime and destroyed after done.

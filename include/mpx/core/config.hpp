@@ -5,10 +5,21 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
 
 #include "mpx/net/cost_model.hpp"
 
 namespace mpx {
+
+class World;
+namespace core_detail {
+class ProgressSource;
+}
+namespace transport {
+class Transport;
+}
 
 /// Configuration for a World (one simulated MPI job).
 struct WorldConfig {
@@ -71,6 +82,29 @@ struct WorldConfig {
   /// Parked-block cap of each VCI's unexpected-message freelist.
   /// CVAR: MPX_POOL_UNEXP_CAP.
   int pool_unexp_cap = 256;
+
+  /// Fair stage scheduling: each VCI keeps a rotation cursor and resumes
+  /// the early-exit progress scan after the last productive stage, bounding
+  /// how long a chatty early stage (e.g. a busy user async hook) can starve
+  /// later ones. Off restores the seed's fixed scan-from-the-top order.
+  /// CVAR: MPX_PROGRESS_FAIR.
+  bool progress_fair = true;
+
+  /// Out-of-tree progress stages, appended to the registry after the
+  /// in-tree dtype/coll/async sources and before the transport stages.
+  /// Factories run during World construction; they may inspect
+  /// World::config() and World::clock() but the World is not yet usable
+  /// for communication.
+  std::vector<
+      std::function<std::unique_ptr<core_detail::ProgressSource>(World&)>>
+      extra_sources;
+
+  /// Out-of-tree transports, placed BEFORE the in-tree shm/nic pair in
+  /// routing order (first transport whose reaches(src, dst) claims a rank
+  /// pair carries it). Same construction-time restrictions as
+  /// extra_sources.
+  std::vector<std::function<std::unique_ptr<transport::Transport>(World&)>>
+      extra_transports;
 
   /// Construct a config with defaults taken from MPX_* environment CVARs.
   static WorldConfig from_env(int nranks);

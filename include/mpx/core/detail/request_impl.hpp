@@ -65,14 +65,15 @@ enum class ReqKind : std::uint8_t {
 };
 
 /// Which send protocol an operation chose (paper Fig. 1 message modes).
+/// Transport-neutral: the protocol layer picks from the routed transport's
+/// capability bits + limits, never from its concrete type.
 enum class SendProto : std::uint8_t {
   none = 0,
-  inline_done,  ///< buffered/lightweight: completed at initiation (Fig. 1a)
-  shm_eager,    ///< cell-queue eager, completed at initiation
-  shm_lmt,      ///< shm rendezvous: RTS -> receiver copy -> ACK (one wait)
-  net_light,    ///< NIC inline-buffered, completed at initiation
-  net_eager,    ///< NIC eager, completes at injection-done (Fig. 1b)
-  net_rndv,     ///< NIC rendezvous / pipeline (Fig. 1c, multiple waits)
+  eager_local,  ///< cap_eager_local eager: copied out, complete at initiation
+  light,        ///< buffered fire-and-forget eager (Fig. 1a), complete now
+  eager_cq,     ///< eager over cap_send_cq, completes at injection-done (1b)
+  rndv_lmt,     ///< mapped-memory rendezvous: RTS(ptr) -> recv copy -> ACK
+  rndv,         ///< CTS/DATA rendezvous / pipeline (Fig. 1c, multiple waits)
 };
 
 /// Generalized-request callbacks (MPI_Grequest_start analog).

@@ -1,0 +1,138 @@
+// mpx/core/progress_source.hpp
+//
+// The open half of the collated progress engine (paper Listing 1.1). A
+// ProgressSource is one pollable stage — dtype pack/unpack, collective
+// hooks, user async things, one stage per transport — registered into the
+// World-owned ProgressRegistry. make_vci compiles the registry into a
+// per-VCI ordered stage table (a flat array with per-stage hit/call
+// counters) that progress_test iterates; the table is immutable after
+// World construction publishes the registry, so the hot loop reads it
+// without synchronization beyond the VCI lock it already holds.
+//
+// Out-of-tree subsystems collate without core surgery: register a factory
+// in WorldConfig::extra_sources and the stage appears in every VCI's
+// pipeline, gated by ProgressMask::progress_user.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mpx/base/status.hpp"
+
+namespace mpx::core_detail {
+
+struct Vci;
+
+/// Out-of-tree sources see Vci only as an opaque endpoint handle; these
+/// accessors expose the coordinates a source needs to index its own state.
+int vci_rank(const Vci& v);
+int vci_id(const Vci& v);
+
+/// Speculative-devirtualization tag for the in-tree stages: the engine's
+/// scan inlines their (Vci-member) skip checks instead of paying a virtual
+/// idle() hop per stage per call — the wait-loop hot path runs the whole
+/// empty scan without an indirect call. Out-of-tree sources are `external`
+/// and take the virtual idle()/poll() path; semantics are identical.
+enum class StageFastGate : std::uint8_t {
+  external = 0,  ///< use virtual idle() (default for user sources)
+  dtype,         ///< skip when the pack/unpack engine is idle
+  coll_hooks,    ///< skip when no collective schedules are registered
+  async_hooks,   ///< skip when no user async things are registered
+  lmt,           ///< skip when no mapped-memory copies are pending
+};
+
+/// One pollable progress stage. poll()/idle() run with the target VCI's
+/// lock held (the engine serializes per VCI, paper §2.2) and may be
+/// invoked concurrently for *different* VCIs — shared source state needs
+/// its own synchronization, per-VCI state does not.
+class ProgressSource {
+ public:
+  virtual ~ProgressSource() = default;
+
+  /// Stable stage name for stats and the tracer.
+  virtual const char* name() const = 0;
+
+  /// ProgressMask bit gating this stage (progress_dtype/.../progress_user).
+  virtual unsigned mask_bit() const = 0;
+
+  /// Cheap skip check: true when this stage provably has no work on `v`,
+  /// letting the engine skip the poll entirely (each source owns its own
+  /// empty-stage fast path). Return false when unsure — poll() must then
+  /// self-gate.
+  virtual bool idle(Vci& v) = 0;
+
+  /// Whether idle() is a cheap, usable skip check. Sources whose emptiness
+  /// test is no cheaper than the poll itself (transports scan the same
+  /// queues either way) return false; the engine then skips the idle() hop
+  /// and polls unconditionally, and the stage's `calls` counter counts
+  /// every poll including empty ones. Sampled once at compile() — must be
+  /// a constant.
+  virtual bool has_idle_check() const { return true; }
+
+  /// Fast-gate tag (see StageFastGate). Sampled once at compile() — must
+  /// be a constant. Only in-tree sources return non-external values; the
+  /// default keeps user sources on the virtual idle() path.
+  virtual StageFastGate fast_gate() const { return StageFastGate::external; }
+
+  /// Advance this stage's work on `v`; add to *made for each completion or
+  /// forward step observed (the engine early-exits on *made != 0).
+  virtual void poll(Vci& v, int* made) = 0;
+};
+
+/// One compiled stage table entry. The source/mask halves are fixed at
+/// make_vci; the counters are owned by the VCI and mutate under its lock.
+struct ProgressStage {
+  ProgressSource* source = nullptr;
+  unsigned mask = 0;
+  /// ProgressSource::has_idle_check(), sampled at compile(): false lets the
+  /// scan skip the idle() virtual hop for always-poll sources.
+  bool check_idle = true;
+  /// ProgressSource::fast_gate(), sampled at compile().
+  StageFastGate gate = StageFastGate::external;
+  std::uint64_t calls = 0;  ///< polls issued (idle-skips excluded)
+  std::uint64_t hits = 0;   ///< polls that made progress
+};
+
+/// Ordered registry of progress sources, owned by World. add() during
+/// World construction only; publish() freezes it before the first
+/// make_vci, after which compile() may be called from any thread.
+class ProgressRegistry {
+ public:
+  ProgressRegistry() = default;
+  ProgressRegistry(const ProgressRegistry&) = delete;
+  ProgressRegistry& operator=(const ProgressRegistry&) = delete;
+
+  void add(std::unique_ptr<ProgressSource> src) {
+    expects(!published_, "ProgressRegistry: add() after publish()");
+    expects(src != nullptr, "ProgressRegistry: null source");
+    sources_.push_back(std::move(src));
+  }
+
+  /// Freeze the stage order. No add() afterwards; compile() requires it.
+  void publish() { published_ = true; }
+  bool published() const { return published_; }
+
+  std::size_t size() const { return sources_.size(); }
+  ProgressSource& at(std::size_t i) const { return *sources_[i]; }
+
+  /// Materialize the per-VCI stage table (fresh counters, fixed order).
+  std::vector<ProgressStage> compile() const {
+    expects(published_, "ProgressRegistry: compile() before publish()");
+    std::vector<ProgressStage> table;
+    table.reserve(sources_.size());
+    for (const auto& src : sources_) {
+      table.push_back(ProgressStage{src.get(), src->mask_bit(),
+                                    src->has_idle_check(), src->fast_gate(),
+                                    0, 0});
+    }
+    return table;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ProgressSource>> sources_;
+  bool published_ = false;
+};
+
+}  // namespace mpx::core_detail

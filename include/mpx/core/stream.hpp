@@ -26,7 +26,11 @@ enum ProgressMask : unsigned {
   progress_async = 1u << 2,
   progress_shm = 1u << 3,
   progress_net = 1u << 4,
-  progress_all = 0x1F,
+  /// Out-of-tree ProgressSources and Transports registered through
+  /// WorldConfig::extra_sources/extra_transports share this bit unless
+  /// they override mask_bit()/progress_bit().
+  progress_user = 1u << 5,
+  progress_all = 0x3F,
 };
 
 /// Value handle for an execution stream. Obtain from World::stream_create or
@@ -66,9 +70,13 @@ class Stream {
 };
 
 /// MPIX_Stream_progress: advance all work attached to `stream` — the
-/// collated progress function of Listing 1.1 (datatype engine, collective
-/// schedules, user async hooks, shared-memory transport, simulated NIC, in
-/// that order, early-exiting once progress is made).
+/// collated progress function of Listing 1.1. Polls the VCI's compiled
+/// stage table (datatype engine, collective schedules, user async hooks,
+/// registered extra sources, then one stage per transport, in registry
+/// order), early-exiting once progress is made. With fair scheduling
+/// (MPX_PROGRESS_FAIR, default on) successive calls resume the scan after
+/// the last productive stage, so a chatty early stage cannot starve the
+/// transports.
 ///
 /// Returns nonzero when any progress was made.
 int stream_progress(const Stream& stream);

@@ -1,12 +1,18 @@
 // mpx/core/world.hpp
 //
-// A World is one simulated MPI job: N ranks sharing a process, two
-// transports (shared-memory + simulated NIC), a clock, and per-rank VCI
-// tables. Rank code runs on caller-provided threads ("threads-as-ranks");
-// all rank state is explicit, so one process can host several Worlds.
+// A World is one simulated MPI job: N ranks sharing a process, an ordered
+// list of transports (in-tree: shared-memory + simulated NIC, plus any
+// WorldConfig::extra_transports), a progress-source registry, a clock, and
+// per-rank VCI tables. Rank code runs on caller-provided threads
+// ("threads-as-ranks"); all rank state is explicit, so one process can
+// host several Worlds.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "mpx/base/clock.hpp"
 #include "mpx/base/instrumented_mutex.hpp"
@@ -15,8 +21,6 @@
 #include "mpx/core/config.hpp"
 #include "mpx/core/info.hpp"
 #include "mpx/core/stream.hpp"
-#include "mpx/net/nic.hpp"
-#include "mpx/shm/shm_transport.hpp"
 #include "mpx/trace/tracer.hpp"
 
 namespace mpx {
@@ -24,7 +28,12 @@ namespace mpx {
 namespace core_detail {
 struct RankCtx;
 struct Vci;
+class ProgressRegistry;
 }  // namespace core_detail
+
+namespace transport {
+class Transport;
+}
 
 class World : public std::enable_shared_from_this<World> {
  public:
@@ -87,7 +96,9 @@ class World : public std::enable_shared_from_this<World> {
   /// Progress-call count of (rank, vci).
   std::uint64_t vci_progress_calls(int rank, int vci) const;
 
-  /// Per-stage progress-made counters of (rank, vci), in collation order.
+  /// Per-stage progress-made counters of (rank, vci), folded by ProgressMask
+  /// bit for the classic Listing 1.1 view (stages sharing a bit — e.g. the
+  /// transport poll and the LMT copy stage, both progress_shm — sum).
   struct StageCounters {
     std::uint64_t dtype = 0;
     std::uint64_t coll = 0;
@@ -96,6 +107,16 @@ class World : public std::enable_shared_from_this<World> {
     std::uint64_t net = 0;
   };
   StageCounters vci_stage_counters(int rank, int vci) const;
+
+  /// The full compiled stage table of (rank, vci): one row per registered
+  /// ProgressSource, in poll order, with its per-VCI hit/call counters.
+  struct StageCounter {
+    std::string name;
+    unsigned mask = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t hits = 0;
+  };
+  std::vector<StageCounter> vci_stage_table(int rank, int vci) const;
 
   /// Matching-engine depths of (rank, vci): pending posted receives and
   /// parked unexpected messages (test/bench observability; takes the VCI
@@ -111,11 +132,26 @@ class World : public std::enable_shared_from_this<World> {
   /// base::pool_registry_snapshot() instead.
   base::PoolStats vci_unexp_pool_stats(int rank, int vci) const;
 
-  shm::ShmStats shm_stats() const;
-  net::NicStats net_stats() const;
+  // --- transports ---
+
+  /// Ordered transport list (routing order: extras, then shm, then nic).
+  std::size_t transport_count() const;
+  transport::Transport& transport_at(std::size_t i) const;
+
+  /// Transport lookup by name() ("shm", "nic", ...); nullptr when absent.
+  /// Tests downcast through this instead of World naming concrete types.
+  transport::Transport* find_transport(std::string_view name) const;
+
+  /// The transport carrying (src, dst) traffic: first transport in list
+  /// order whose reaches() claims the pair. Compiled into a flat table at
+  /// World construction — O(1), no virtual dispatch on lookup.
+  transport::Transport& route(int src, int dst) const;
 
   /// True when src and dst live on the same simulated node (shm path).
   bool same_node(int a, int b) const;
+
+  /// The published progress-source registry (stage order of every VCI).
+  const core_detail::ProgressRegistry& progress_registry() const;
 
   /// The protocol tracer (§2.5 observability). Disabled (capacity 0) unless
   /// WorldConfig::trace_capacity / MPX_TRACE_CAPACITY was set.
@@ -124,8 +160,6 @@ class World : public std::enable_shared_from_this<World> {
   // --- internal access (runtime layers; not for applications) ---
   core_detail::RankCtx& rank_ctx(int rank);
   core_detail::Vci& vci(int rank, int vci_id);
-  shm::ShmTransport& shm_transport();
-  net::Nic& nic();
   /// Allocate `count` consecutive matching-context ids (comm management).
   std::int32_t alloc_context_ids(int count);
 

@@ -19,10 +19,12 @@
 #include "mpx/core/config.hpp"
 #include "mpx/core/info.hpp"
 #include "mpx/core/pack.hpp"
+#include "mpx/core/progress_source.hpp"
 #include "mpx/core/request.hpp"
 #include "mpx/core/stream.hpp"
 #include "mpx/core/waittest.hpp"
 #include "mpx/core/world.hpp"
+#include "mpx/transport/transport.hpp"
 #include "mpx/dtype/datatype.hpp"
 #include "mpx/dtype/reduce_op.hpp"
 #include "mpx/dtype/segment.hpp"

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "mpx/base/clock.hpp"
@@ -27,6 +28,7 @@
 #include "mpx/base/thread_safety.hpp"
 #include "mpx/net/cost_model.hpp"
 #include "mpx/transport/msg.hpp"
+#include "mpx/transport/transport.hpp"
 
 namespace mpx::net {
 
@@ -37,12 +39,28 @@ struct NicStats {
   std::uint64_t cq_events = 0;
 };
 
-class Nic {
+class Nic final : public transport::Transport {
  public:
-  Nic(int nranks, int max_vcis, CostModel model, const base::Clock& clock);
+  Nic(int nranks, int max_vcis, CostModel model, const base::Clock& clock,
+      transport::TransportLimits limits = {});
 
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
+
+  // --- transport::Transport ---
+  const char* name() const override { return "nic"; }
+  unsigned caps() const override { return transport::cap_send_cq; }
+  const transport::TransportLimits& limits() const override { return limits_; }
+  /// ProgressMask::progress_net (net/ cannot include core headers).
+  unsigned progress_bit() const override { return 1u << 4; }
+  /// The NIC reaches everything; it routes last, as the catch-all.
+  bool reaches(int, int) const override { return true; }
+  /// inject() never completes locally unless fire-and-forget (cookie 0).
+  bool send(transport::Msg&& m, std::uint64_t cookie) override {
+    inject(std::move(m), cookie);
+    return cookie == 0;
+  }
+  transport::TransportStats transport_stats() const override;
 
   /// Inject a message. If `cookie` is nonzero, a sender-side completion event
   /// fires (via on_send_complete on the sender's poll) when the local
@@ -53,13 +71,13 @@ class Nic {
   /// Poll endpoint (rank, vci): deliver due arrivals and fire due sender-side
   /// completion events. Sets *made_progress when anything was delivered.
   void poll(int rank, int vci, transport::TransportSink& sink,
-            int* made_progress);
+            int* made_progress) override;
 
   /// True when nothing is in flight to or from (rank, vci). A cheap check —
   /// the paper notes netmod empty-polls are NOT always cheap, which is why
   /// the collated progress function places netmod last; idle() lets the
   /// progress engine skip it entirely when provably quiet.
-  bool idle(int rank, int vci) const;
+  bool idle(int rank, int vci) const override;
 
   NicStats stats() const;
   const CostModel& model() const { return model_; }
@@ -88,13 +106,22 @@ class Nic {
   const Channel& channel(int src, int dst, int vci) const;
   SendCq& send_cq(int rank, int vci);
   const SendCq& send_cq(int rank, int vci) const;
+  std::atomic<std::uint32_t>& ep_pending(int rank, int vci);
 
   int nranks_;
   int max_vcis_;
   CostModel model_;
+  transport::TransportLimits limits_;
   const base::Clock& clock_;
   std::vector<Channel> channels_;  // [src][dst][vci]
   std::vector<SendCq> send_cqs_;   // [rank][vci]
+  /// Entries in flight to/from each (rank, vci) endpoint — arrivals on its
+  /// channels plus its unfired send completions. inject() increments
+  /// (before pushing, so a zero read proves the queues were empty at that
+  /// point); poll() decrements per pop. Lets poll() bail out without the
+  /// clock read or any spinlock when the endpoint is quiet — the "netmod
+  /// empty-polls are not cheap" cost the paper calls out, made cheap.
+  std::vector<std::atomic<std::uint32_t>> ep_pending_;  // [rank][vci]
 
   std::atomic<std::uint64_t> injected_{0};
   std::atomic<std::uint64_t> delivered_{0};

@@ -45,6 +45,7 @@
 #include "mpx/base/thread_safety.hpp"
 #include "mpx/mc/sync.hpp"
 #include "mpx/transport/msg.hpp"
+#include "mpx/transport/transport.hpp"
 
 namespace mpx::shm {
 
@@ -63,18 +64,34 @@ struct ShmStats {
   std::uint64_t inline_payload_hits = 0;
 };
 
-class ShmTransport {
+class ShmTransport final : public transport::Transport {
  public:
   /// `nranks` endpoints, `max_vcis` channels each. `cells` per-channel ring
   /// slots (rounded up to a power of two), each holding up to `slot_bytes`
   /// of payload in-slot; poll() delivers at most `deliver_batch` cells per
-  /// channel per call.
+  /// channel per call. `ranks_per_node` scopes reaches() to same-node rank
+  /// pairs (0 = every rank shares one node); `eager_max` is the rendezvous
+  /// cutover advertised through limits().
   ShmTransport(int nranks, int max_vcis, std::size_t cells,
-               std::size_t slot_bytes = 256, int deliver_batch = 16);
-  ~ShmTransport();
+               std::size_t slot_bytes = 256, int deliver_batch = 16,
+               int ranks_per_node = 0, std::size_t eager_max = 64 * 1024);
+  ~ShmTransport() override;
 
   ShmTransport(const ShmTransport&) = delete;
   ShmTransport& operator=(const ShmTransport&) = delete;
+
+  // --- transport::Transport ---
+  const char* name() const override { return "shm"; }
+  unsigned caps() const override {
+    return transport::cap_eager_local | transport::cap_mapped_memory;
+  }
+  const transport::TransportLimits& limits() const override { return limits_; }
+  /// ProgressMask::progress_shm (shm/ cannot include core headers).
+  unsigned progress_bit() const override { return 1u << 3; }
+  bool reaches(int src, int dst) const override {
+    return src / ranks_per_node_ == dst / ranks_per_node_;
+  }
+  transport::TransportStats transport_stats() const override;
 
   /// Send `m` from m.h.src_rank to m.h.dst_rank on channel m.h.dst_vci.
   ///
@@ -83,7 +100,7 @@ class ShmTransport {
   /// the operation is locally complete and no on_send_complete fires.
   /// Returns false when the send had to park: `cookie` (if nonzero) will be
   /// reported via on_send_complete once it drains.
-  bool send(transport::Msg&& m, std::uint64_t cookie);
+  bool send(transport::Msg&& m, std::uint64_t cookie) override;
 
   /// Zero-envelope eager send: copy `payload` straight from the user (or
   /// staging) buffer into the channel — in-slot when it fits `slot_bytes`,
@@ -91,7 +108,7 @@ class ShmTransport {
   /// `payload`; the copy happens before return even when the send parks.
   /// Same return/cookie contract as send().
   bool send_eager(const transport::MsgHeader& h, base::ConstByteSpan payload,
-                  std::uint64_t cookie);
+                  std::uint64_t cookie) override;
 
   /// Poll the (rank, vci) endpoint: retry parked sends originating from
   /// this side in bulk, then drain up to `deliver_batch` arrived cells per
@@ -104,11 +121,11 @@ class ShmTransport {
   /// calls from inside the sink are detected and skip the delivery stage —
   /// the outer drain still owns its batch's cells.
   void poll(int rank, int vci, transport::TransportSink& sink,
-            int* made_progress);
+            int* made_progress) override;
 
   /// True when the endpoint has nothing queued in any direction. Used for
   /// the cheap "empty poll" check the paper relies on (§2.6).
-  bool idle(int rank, int vci) const;
+  bool idle(int rank, int vci) const override;
 
   ShmStats stats() const;
 
@@ -188,6 +205,8 @@ class ShmTransport {
   std::size_t slot_bytes_;  ///< inline payload capacity per cell
   std::size_t stride_;      ///< bytes per cell incl. inline area, 64-aligned
   int deliver_batch_;
+  int ranks_per_node_;      ///< reaches() node width (>= 1 after ctor)
+  transport::TransportLimits limits_;
   std::vector<Channel> channels_;   // [src][dst][vci]
   std::vector<Endpoint> endpoints_;  // [rank][vci]
 

@@ -31,6 +31,7 @@ enum class Event : std::uint8_t {
   ack,             ///< LMT ack seen at the sender
   complete,        ///< a request completed (detail = ReqKind)
   cancel,          ///< a posted receive was cancelled
+  progress,        ///< a progress stage made progress (detail = stage index)
 };
 
 std::string to_string(Event e);

@@ -1,0 +1,28 @@
+// mpx/transport/builtin.hpp
+//
+// Factory for the in-tree transports. This is the ONE translation unit
+// boundary that knows the concrete backend types (ShmTransport, Nic);
+// mpx::core links against it and receives anonymous Transport pointers,
+// keeping concrete transport names out of src/core entirely.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mpx/transport/transport.hpp"
+
+namespace mpx {
+struct WorldConfig;
+namespace base {
+class Clock;
+}
+}  // namespace mpx
+
+namespace mpx::transport {
+
+/// Construct the in-tree transports in routing order: shm first (claims
+/// same-node pairs), then the simulated NIC (claims everything else).
+std::vector<std::unique_ptr<Transport>> make_builtin_transports(
+    const WorldConfig& cfg, const base::Clock& clock);
+
+}  // namespace mpx::transport

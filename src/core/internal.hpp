@@ -34,10 +34,12 @@
 #include "mpx/base/thread_safety.hpp"
 #include "mpx/core/async.hpp"
 #include "mpx/core/detail/request_impl.hpp"
+#include "mpx/core/progress_source.hpp"
 #include "mpx/core/world.hpp"
 #include "mpx/dtype/pack_engine.hpp"
 #include "mpx/dtype/segment.hpp"
 #include "mpx/transport/msg.hpp"
+#include "mpx/transport/transport.hpp"
 
 namespace mpx::core_detail {
 
@@ -45,14 +47,19 @@ namespace mpx::core_detail {
 struct AsyncRuntime {
   using List = base::IntrusiveList<AsyncThing, &AsyncThing::hook_>;
 
-  static AsyncThing* make(AsyncPollFn fn, void* state, const Stream& s) {
+  static AsyncThing* make(AsyncPollFn fn, void* state, const Stream& s,
+                          AsyncThing::StateDeleter deleter = nullptr) {
     auto* t = new AsyncThing();
     t->fn_ = fn;
     t->state_ = state;
     t->stream_ = s;
+    t->deleter_ = deleter;
     return t;
   }
   static AsyncPollFn fn(AsyncThing& t) { return t.fn_; }
+  /// poll_fn returned done: it already released the state (paper contract),
+  /// so ~AsyncThing must not run the deleter a second time.
+  static void disarm(AsyncThing& t) { t.deleter_ = nullptr; }
   static std::vector<AsyncThing::SpawnRec> take_spawned(AsyncThing& t) {
     return std::move(t.spawned_);
   }
@@ -124,22 +131,48 @@ struct Vci {
   std::uint64_t progress_calls MPX_GUARDED_BY(mu) = 0;
   std::atomic<std::int64_t> active_ops{0};  ///< in-flight p2p/coll requests
   std::atomic<std::int64_t> hook_count{0};  ///< linked async+coll hooks
-  /// Progress-made counts per collation stage (dtype, coll, async, shm,
-  /// net), in Listing 1.1 order — the observability behind abl_collation.
-  std::uint64_t stage_hits[5] MPX_GUARDED_BY(mu) = {0, 0, 0, 0, 0};
+
+  /// Compiled progress pipeline: one entry per registered ProgressSource,
+  /// in registry order. The source/mask halves are immutable after make_vci
+  /// (the registry is published before any VCI exists); the embedded
+  /// hit/call counters mutate under `mu` — the observability that replaced
+  /// the seed's stage_hits[5].
+  std::vector<ProgressStage> stages MPX_GUARDED_BY(mu);
+  /// Fair-scheduling rotation cursor: index of the stage the next
+  /// progress_test scan starts from (always < stages.size()). Advanced past
+  /// the productive stage on every hit so a chatty early stage cannot
+  /// starve later ones. Unused (stays 0) when !fair.
+  std::uint32_t stage_cursor MPX_GUARDED_BY(mu) = 0;
+  /// WorldConfig::progress_fair, frozen at make_vci.
+  bool fair = true;
 };
 
-/// Per-rank state: the VCI table. `vcis_mu` (LockRank::stream) guards table
-/// growth and slot reuse; it nests INSIDE a held VCI lock (spawning onto
-/// another stream resolves the target VCI while the current one is locked),
-/// so it ranks above LockRank::vci.
+/// Per-rank state: the VCI table. Storage is fixed at max_vcis slots so the
+/// progress hot path resolves (rank, vci) -> Vci* with two acquire loads
+/// and NO lock: `vci_count` publishes the table length, each slot pointer
+/// is stored release after the Vci is fully constructed. `vcis_mu`
+/// (LockRank::stream) serializes WRITERS only (stream_create growth and
+/// slot reuse); it nests INSIDE a held VCI lock (spawning onto another
+/// stream resolves the target VCI while the current one is locked), so it
+/// ranks above LockRank::vci. Vci lifetime is unchanged: a slot is deleted
+/// only when stream_create reuses it after stream_free published
+/// active == false, and using a freed Stream handle was always UB.
 struct RankCtx {
   int rank = -1;
   World* world = nullptr;
-  std::vector<std::unique_ptr<Vci>> vcis
-      MPX_GUARDED_BY(vcis_mu);  // index = vci id; [0] always live
+  /// index = vci id; [0] always live. Sized to max_vcis at construction
+  /// (never reallocates); entries past vci_count are null.
+  std::vector<mc::atomic<Vci*>> slots;
+  mc::atomic<std::uint32_t> vci_count{0};
   mutable base::InstrumentedMutex vcis_mu{"vci-table",
                                           base::LockRank::stream};
+
+  ~RankCtx() {
+    const std::uint32_t n = vci_count.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      delete slots[i].load(std::memory_order_acquire);
+    }
+  }
 };
 
 /// Blocking all-members coordination for communicator management ops
@@ -239,7 +272,19 @@ inline void trace_emit(Vci& v, trace::Event ev, int peer, int tag,
 /// Construct the transport sink for a VCI (called when a VCI is created).
 std::unique_ptr<transport::TransportSink> make_vci_sink(Vci& v);
 
-/// Shm LMT copy stage, called from the shm slot of progress_test.
+/// Receiver-side LMT copy stage (its own ProgressSource, registered right
+/// after the mapped-memory transport's poll stage).
 void lmt_progress(Vci& v, int* made_progress) MPX_REQUIRES(v.mu);
+
+/// Register the in-tree non-transport sources (dtype, coll, async), in
+/// Listing 1.1 order. Called once by the World constructor.
+void register_builtin_sources(ProgressRegistry& reg);
+
+/// Register one poll stage per transport, in list order, inserting the LMT
+/// copy stage directly after the first cap_mapped_memory transport (the
+/// seed polled LMT work inside the shm slot; the split keeps per-source
+/// counters honest while preserving relative order).
+void register_transport_sources(ProgressRegistry& reg,
+                                const std::vector<transport::Transport*>& ts);
 
 }  // namespace mpx::core_detail

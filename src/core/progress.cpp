@@ -1,29 +1,35 @@
 // The collated progress engine (paper Listing 1.1) and the MPIX_Async
-// runtime (§3.3). Subsystem order inside one progress call:
+// runtime (§3.3). Stages are no longer hardwired: each VCI carries a
+// compiled table of ProgressSources (dtype engine, collective schedules,
+// user async things, registered extras, then one stage per transport with
+// the LMT copy stage behind the mapped-memory transport), scanned with an
+// early exit as soon as progress is made — exactly MPICH's
+// MPIDI_progress_test shape, with the stage list open for registration.
 //
-//   1. datatype engine      (async pack/unpack)
-//   2. collective schedules (internal hooks registered by mpx::coll)
-//   3. user async things    (MPIX_Async poll functions)
-//   4. shared memory        (transport poll + LMT copy work)
-//   5. netmod               (simulated NIC) — last, skipped if progress
-//
-// with an early exit as soon as progress is made, exactly as MPICH's
-// MPIDI_progress_test does.
+// Fair scheduling (WorldConfig::progress_fair, default on): the scan
+// resumes one past the last productive stage, so with S stages a stage
+// waits at most S calls for its next poll even when an earlier stage is
+// productive on every call. Off restores the seed's fixed
+// scan-from-the-top order (a chatty early stage can then starve the rest).
 #include "internal.hpp"
 
 namespace mpx {
 
-void AsyncThing::spawn(AsyncPollFn fn, void* extra_state,
-                       const Stream& stream) {
+void AsyncThing::spawn(AsyncPollFn fn, void* extra_state, const Stream& stream,
+                       StateDeleter state_deleter) {
   expects(fn != nullptr && stream.valid(), "AsyncThing::spawn: bad arguments");
-  spawned_.push_back(SpawnRec{fn, extra_state, stream});
+  spawned_.push_back(SpawnRec{fn, extra_state, stream, state_deleter});
 }
 
 namespace core_detail {
 
+int vci_rank(const Vci& v) { return v.rank; }
+int vci_id(const Vci& v) { return v.id; }
+
 Vci::~Vci() {
-  // Release anything still owned at world teardown: unfinished hooks,
-  // never-matched unexpected messages, never-matched posted receives.
+  // Release anything still owned at world teardown: unfinished hooks
+  // (~AsyncThing runs their state deleters), never-matched unexpected
+  // messages, never-matched posted receives.
   auto drop_hooks = [](AsyncRuntime::List& list) {
     while (AsyncThing* t = list.pop_front()) delete t;
   };
@@ -44,11 +50,12 @@ namespace {
 /// registration from the VCI lock, so spawning onto another stream from
 /// inside a poll function cannot deadlock.
 void enqueue_hook(AsyncPollFn fn, void* state, const Stream& s,
-                  bool coll_stage) {
+                  bool coll_stage,
+                  AsyncThing::StateDeleter deleter = nullptr) {
   Vci& v = s.world().vci(s.rank(), s.vci());
   expects(v.active.load(std::memory_order_acquire),
           "async_start: stream has been freed");
-  AsyncThing* t = AsyncRuntime::make(fn, state, s);
+  AsyncThing* t = AsyncRuntime::make(fn, state, s, deleter);
   v.hook_count.fetch_add(1, std::memory_order_relaxed);
   (coll_stage ? v.inbox_coll : v.inbox_asyncs).push(std::move(t));
 }
@@ -71,11 +78,15 @@ void poll_hooks(Vci& v, AsyncRuntime::List& list, int* made)
       // Spawned tasks are staged inside the thing and registered after
       // poll_fn returns (paper: avoids recursion / queue self-mutation).
       for (auto& rec : AsyncRuntime::take_spawned(*t)) {
-        enqueue_hook(rec.fn, rec.state, rec.stream, /*coll_stage=*/false);
+        enqueue_hook(rec.fn, rec.state, rec.stream, /*coll_stage=*/false,
+                     rec.deleter);
       }
     }
     if (r == AsyncResult::done) {
       list.erase(t);
+      // Done means poll_fn already released the state (paper contract);
+      // disarm so ~AsyncThing does not free it a second time.
+      AsyncRuntime::disarm(*t);
       delete t;
       v.hook_count.fetch_sub(1, std::memory_order_relaxed);
       *made = 1;
@@ -83,10 +94,119 @@ void poll_hooks(Vci& v, AsyncRuntime::List& list, int* made)
   });
 }
 
+// ---- in-tree progress sources ----
+//
+// poll()/idle() bodies access members guarded by v.mu. The lock IS held —
+// progress_test takes it before scanning the stage table — but the
+// virtual-dispatch hop hides that from clang's thread-safety analysis
+// (ProgressSource::poll cannot carry MPX_REQUIRES(v.mu): Vci is incomplete
+// in the public header). Hence the per-method opt-outs; the runtime
+// lock-rank validator still checks the real acquisition order.
+
+class DtypeSource final : public ProgressSource {
+ public:
+  const char* name() const override { return "dtype"; }
+  unsigned mask_bit() const override { return progress_dtype; }
+  StageFastGate fast_gate() const override { return StageFastGate::dtype; }
+  bool idle(Vci& v) override MPX_NO_THREAD_SAFETY_ANALYSIS {
+    return v.pack_engine.idle();
+  }
+  void poll(Vci& v, int* made) override MPX_NO_THREAD_SAFETY_ANALYSIS {
+    v.pack_engine.progress(made);
+  }
+};
+
+class CollSource final : public ProgressSource {
+ public:
+  const char* name() const override { return "coll"; }
+  unsigned mask_bit() const override { return progress_coll; }
+  StageFastGate fast_gate() const override {
+    return StageFastGate::coll_hooks;
+  }
+  bool idle(Vci& v) override MPX_NO_THREAD_SAFETY_ANALYSIS {
+    return v.coll_hooks.empty();
+  }
+  void poll(Vci& v, int* made) override MPX_NO_THREAD_SAFETY_ANALYSIS {
+    poll_hooks(v, v.coll_hooks, made);
+  }
+};
+
+class AsyncSource final : public ProgressSource {
+ public:
+  const char* name() const override { return "async"; }
+  unsigned mask_bit() const override { return progress_async; }
+  StageFastGate fast_gate() const override {
+    return StageFastGate::async_hooks;
+  }
+  bool idle(Vci& v) override MPX_NO_THREAD_SAFETY_ANALYSIS {
+    return v.asyncs.empty();
+  }
+  void poll(Vci& v, int* made) override MPX_NO_THREAD_SAFETY_ANALYSIS {
+    poll_hooks(v, v.asyncs, made);
+  }
+};
+
+/// One poll stage per transport. No engine-side idle check: transports keep
+/// their own cheap empty-endpoint fast paths inside poll() (the seed polled
+/// them unconditionally too), and Transport::idle() is a teardown-grade
+/// check that may cost more than the poll it would skip — so
+/// has_idle_check() is false and the scan skips the idle() hop entirely.
+class TransportSource final : public ProgressSource {
+ public:
+  explicit TransportSource(transport::Transport& t) : t_(t) {}
+  const char* name() const override { return t_.name(); }
+  unsigned mask_bit() const override { return t_.progress_bit(); }
+  bool has_idle_check() const override { return false; }
+  bool idle(Vci&) override { return false; }
+  void poll(Vci& v, int* made) override MPX_NO_THREAD_SAFETY_ANALYSIS {
+    t_.poll(v.rank, v.id, *v.sink, made);
+  }
+
+ private:
+  transport::Transport& t_;
+};
+
+/// Receiver-side mapped-memory LMT copy work, registered directly after
+/// the mapped transport's poll stage and sharing its mask bit (the seed
+/// ran this inside the shm slot).
+class LmtSource final : public ProgressSource {
+ public:
+  explicit LmtSource(unsigned mask) : mask_(mask) {}
+  const char* name() const override { return "lmt"; }
+  unsigned mask_bit() const override { return mask_; }
+  StageFastGate fast_gate() const override { return StageFastGate::lmt; }
+  bool idle(Vci& v) override MPX_NO_THREAD_SAFETY_ANALYSIS {
+    return v.lmt.empty();
+  }
+  void poll(Vci& v, int* made) override MPX_NO_THREAD_SAFETY_ANALYSIS {
+    lmt_progress(v, made);
+  }
+
+ private:
+  unsigned mask_;
+};
+
 }  // namespace
 
+void register_builtin_sources(ProgressRegistry& reg) {
+  reg.add(std::make_unique<DtypeSource>());
+  reg.add(std::make_unique<CollSource>());
+  reg.add(std::make_unique<AsyncSource>());
+}
+
+void register_transport_sources(
+    ProgressRegistry& reg, const std::vector<transport::Transport*>& ts) {
+  bool lmt_staged = false;
+  for (transport::Transport* t : ts) {
+    reg.add(std::make_unique<TransportSource>(*t));
+    if (!lmt_staged && (t->caps() & transport::cap_mapped_memory) != 0) {
+      reg.add(std::make_unique<LmtSource>(t->progress_bit()));
+      lmt_staged = true;
+    }
+  }
+}
+
 int progress_test(Vci& v, unsigned mask) {
-  World& w = *v.world;
   base::LockGuard<base::InstrumentedMutex> g(v.mu);
   ++v.progress_calls;
 
@@ -99,42 +219,58 @@ int progress_test(Vci& v, unsigned mask) {
     drain_inbox(v, v.inbox_asyncs, v.asyncs);
   }
 
-  // Each collation stage below is skipped when its work queue is provably
-  // empty under `mu` — the common case for pure p2p traffic, which then
-  // pays only for the transport polls.
+  // Scan the compiled stage table with early exit on first progress,
+  // starting at the rotation cursor (fair) or the top (seed order). Each
+  // source owns its skip condition via idle(); skipped stages don't count
+  // as calls.
+  // Hoisted locals: the table is immutable while v.mu is held, but the
+  // virtual poll/idle calls are opaque to the compiler, which would
+  // otherwise reload data()/size() after every stage.
+  ProgressStage* const stages = v.stages.data();
+  const std::size_t n = v.stages.size();
+  const std::size_t start = v.fair ? v.stage_cursor : 0;
   int made = 0;
-  if ((mask & progress_dtype) != 0 && !v.pack_engine.idle()) {
-    v.pack_engine.progress(&made);
-    if (made != 0) {
-      ++v.stage_hits[0];
-      return made;
+  // Two linear passes ([start,n) then [0,start)) instead of modular index
+  // arithmetic per stage — the wrap cost would be paid on every iteration
+  // of every wait loop.
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::size_t lo = pass == 0 ? start : 0;
+    const std::size_t hi = pass == 0 ? n : start;
+    for (std::size_t i = lo; i < hi; ++i) {
+      ProgressStage& st = stages[i];
+      if ((mask & st.mask) == 0) continue;
+      // Speculative devirtualization (StageFastGate): in-tree stages get
+      // the seed ladder's inlined skip checks; user sources take the
+      // virtual idle() hop. Identical semantics either way — the tag only
+      // picks how the same emptiness test is evaluated.
+      switch (st.gate) {
+        case StageFastGate::dtype:
+          if (v.pack_engine.idle()) continue;
+          break;
+        case StageFastGate::coll_hooks:
+          if (v.coll_hooks.empty()) continue;
+          break;
+        case StageFastGate::async_hooks:
+          if (v.asyncs.empty()) continue;
+          break;
+        case StageFastGate::lmt:
+          if (v.lmt.empty()) continue;
+          break;
+        case StageFastGate::external:
+          if (st.check_idle && st.source->idle(v)) continue;
+          break;
+      }
+      ++st.calls;
+      st.source->poll(v, &made);
+      if (made != 0) {
+        ++st.hits;
+        trace_emit(v, trace::Event::progress, -1, -1, 0, i);
+        if (v.fair) {
+          v.stage_cursor = static_cast<std::uint32_t>(i + 1 == n ? 0 : i + 1);
+        }
+        return made;
+      }
     }
-  }
-  if ((mask & progress_coll) != 0 && !v.coll_hooks.empty()) {
-    poll_hooks(v, v.coll_hooks, &made);
-    if (made != 0) {
-      ++v.stage_hits[1];
-      return made;
-    }
-  }
-  if ((mask & progress_async) != 0 && !v.asyncs.empty()) {
-    poll_hooks(v, v.asyncs, &made);
-    if (made != 0) {
-      ++v.stage_hits[2];
-      return made;
-    }
-  }
-  if ((mask & progress_shm) != 0) {
-    w.shm_transport().poll(v.rank, v.id, *v.sink, &made);
-    lmt_progress(v, &made);
-    if (made != 0) {
-      ++v.stage_hits[3];
-      return made;
-    }
-  }
-  if ((mask & progress_net) != 0) {
-    w.nic().poll(v.rank, v.id, *v.sink, &made);
-    if (made != 0) ++v.stage_hits[4];
   }
   return made;
 }
@@ -173,7 +309,11 @@ void coll_hook_start(AsyncPollFn fn, void* extra_state, const Stream& stream) {
 }
 
 int stream_progress(const Stream& stream) {
-  return stream_progress(stream, stream.mask());
+  // Not delegated to the two-arg overload: this is the wait-loop hot path
+  // and would pay the validity expects() twice.
+  expects(stream.valid(), "stream_progress: invalid stream");
+  core_detail::Vci& v = stream.world().vci(stream.rank(), stream.vci());
+  return core_detail::progress_test(v, stream.mask());
 }
 
 int stream_progress(const Stream& stream, unsigned mask) {
@@ -182,10 +322,12 @@ int stream_progress(const Stream& stream, unsigned mask) {
   return core_detail::progress_test(v, mask);
 }
 
-void async_start(AsyncPollFn fn, void* extra_state, const Stream& stream) {
+void async_start(AsyncPollFn fn, void* extra_state, const Stream& stream,
+                 AsyncThing::StateDeleter state_deleter) {
   expects(fn != nullptr, "async_start: null poll function");
   expects(stream.valid(), "async_start: invalid stream");
-  core_detail::enqueue_hook(fn, extra_state, stream, /*coll_stage=*/false);
+  core_detail::enqueue_hook(fn, extra_state, stream, /*coll_stage=*/false,
+                            state_deleter);
 }
 
 namespace {
@@ -201,15 +343,21 @@ AsyncResult fn_hook_trampoline(AsyncThing& t) {
   return r;
 }
 
+void fn_hook_state_deleter(void* p) { delete static_cast<FnHookState*>(p); }
+
 }  // namespace
 
 void async_start(std::function<AsyncResult()> fn, const Stream& stream) {
   expects(static_cast<bool>(fn), "async_start: empty callable");
   // Keep ownership until registration succeeds: async_start throws on an
-  // invalid/freed stream, and the state must not leak then.
+  // invalid/freed stream, and the state must not leak then. Afterwards the
+  // hook owns it: freed by the trampoline when the poll returns done, or by
+  // the registered deleter when the hook is dropped still pending
+  // (stream_free / world teardown).
   auto state = std::make_unique<FnHookState>(FnHookState{std::move(fn)});
-  async_start(&fn_hook_trampoline, state.get(), stream);
-  state.release();  // the hook owns it now; freed when the poll returns done
+  async_start(&fn_hook_trampoline, state.get(), stream,
+              &fn_hook_state_deleter);
+  state.release();
 }
 
 }  // namespace mpx

@@ -1,20 +1,24 @@
-// Point-to-point protocol state machines: eager / rendezvous / pipeline on
-// both transports, message matching, and the transport sink that feeds
-// arrivals into them. This is where the paper's Fig. 1 message modes live:
+// Point-to-point protocol state machines: eager / rendezvous / pipeline,
+// message matching, and the transport sink that feeds arrivals into them.
+// This is where the paper's Fig. 1 message modes live, selected from the
+// routed transport's capability bits and limits() — never from its
+// concrete type:
 //
-//   shm,  size <= shm_eager_max   : buffered eager (Fig. 1a) — copy to cell,
-//                                   complete at initiation
-//   shm,  larger                  : LMT rendezvous — RTS(with exporter ptr)
-//                                   -> receiver chunk-copies -> ACK (sender
-//                                   has ONE wait block)
-//   net,  size <= lightweight_max : buffered eager (Fig. 1a)
-//   net,  size <= net_eager_max   : eager (Fig. 1b) — sender completes at
-//                                   injection-done CQ event (one wait block)
-//   net,  larger                  : rendezvous (Fig. 1c) — RTS -> CTS ->
-//                                   DATA (two wait blocks); above
-//                                   pipeline_min the data is chunked with a
-//                                   bounded in-flight window (indeterminate
-//                                   number of wait blocks, §2.1 pipeline)
+//   cap_eager_local, size <= eager_max : buffered eager (Fig. 1a) — payload
+//                                        copied out by send_eager, complete
+//                                        at initiation (shm cell ring)
+//   size <= lightweight_max            : buffered eager (Fig. 1a), owned
+//                                        copy, fire-and-forget
+//   cap_send_cq, size <= eager_max     : eager (Fig. 1b) — sender completes
+//                                        at injection-done CQ event
+//   cap_mapped_memory, larger (or sync): LMT rendezvous — RTS carries the
+//                                        exporter pointer -> receiver
+//                                        chunk-copies -> ACK (ONE wait)
+//   otherwise larger (or sync)         : rendezvous (Fig. 1c) — RTS -> CTS
+//                                        -> DATA (two wait blocks); above
+//                                        pipeline_min the data is chunked
+//                                        with a bounded in-flight window
+//                                        (§2.1 pipeline)
 //
 // All handlers run under the polling VCI's lock.
 #include <algorithm>
@@ -33,14 +37,10 @@ RequestImpl* peek_cookie(std::uint64_t c) {
   return reinterpret_cast<RequestImpl*>(c);
 }
 
-/// Route a message over the right transport for the (src, dst) pair.
-/// `cookie` requests a sender-side injection-completion event (net only).
+/// Send a message over the transport routing the (src, dst) pair. `cookie`
+/// requests a sender-side completion event (cap_send_cq transports).
 void route(World& w, Msg&& m, std::uint64_t cookie) {
-  if (w.same_node(m.h.src_rank, m.h.dst_rank)) {
-    w.shm_transport().send(std::move(m), cookie);
-  } else {
-    w.nic().inject(std::move(m), cookie);
-  }
+  w.route(m.h.src_rank, m.h.dst_rank).send(std::move(m), cookie);
 }
 
 /// Pop the oldest posted receive matching the header (MPI FIFO order, bin
@@ -89,12 +89,12 @@ void deliver_eager(RequestImpl* rreq, const MsgHeader& h,
 /// Takes ownership of the caller's reference to rreq.
 void start_rndv_recv(Vci& v, base::Ref<RequestImpl> rreq, const MsgHeader& h)
     MPX_REQUIRES(v.mu) {
-  World& w = *v.world;
   set_recv_envelope(rreq.get(), h);
   rreq->total_bytes = h.total_bytes;
-  if (w.same_node(h.src_rank, v.rank)) {
-    // Shared-memory LMT: chunk-copy directly from the exporter's buffer
-    // during this VCI's progress, then ack the sender.
+  if (h.shm_src != nullptr) {
+    // Mapped-memory LMT (the RTS carried the exporter's pointer): chunk-copy
+    // directly from the exporter's buffer during this VCI's progress, then
+    // ack the sender.
     LmtWork work;
     work.src = static_cast<const std::byte*>(h.shm_src);
     work.total = h.total_bytes;
@@ -109,7 +109,8 @@ void start_rndv_recv(Vci& v, base::Ref<RequestImpl> rreq, const MsgHeader& h)
     v.lmt.push_back(std::move(work));
     return;
   }
-  // Simulated NIC: clear-to-send back to the sender's VCI.
+  // No shared mapping: CTS/DATA rendezvous — clear-to-send back to the
+  // sender's VCI (Fig. 1c).
   RequestImpl* rp = rreq.get();
   if (!rp->dt.is_contiguous()) {
     rp->seg = std::make_unique<dtype::Segment>(rp->buf, rp->count, rp->dt);
@@ -130,17 +131,20 @@ void start_rndv_recv(Vci& v, base::Ref<RequestImpl> rreq, const MsgHeader& h)
   route(*v.world, std::move(cts), 0);
 }
 
-/// Pipeline/rendezvous chunk size for a message of `total` bytes.
-std::uint64_t chunk_bytes(const WorldConfig& cfg, std::uint64_t total) {
-  return total > cfg.net_pipeline_min
-             ? static_cast<std::uint64_t>(cfg.net_pipeline_chunk)
+/// Pipeline/rendezvous chunk size for a message of `total` bytes, per the
+/// carrying transport's limits.
+std::uint64_t chunk_bytes(const transport::TransportLimits& lim,
+                          std::uint64_t total) {
+  return total > lim.pipeline_min
+             ? static_cast<std::uint64_t>(lim.pipeline_chunk)
              : total;
 }
 
 /// Inject the next data chunk of a rendezvous send.
 void inject_next_chunk(Vci& v, RequestImpl* sreq) {
-  const WorldConfig& cfg = v.world->config();
-  const std::uint64_t chunk = chunk_bytes(cfg, sreq->total_bytes);
+  const transport::TransportLimits& lim =
+      v.world->route(sreq->self, sreq->peer).limits();
+  const std::uint64_t chunk = chunk_bytes(lim, sreq->total_bytes);
   const std::uint64_t len =
       std::min<std::uint64_t>(chunk, sreq->total_bytes - sreq->next_offset);
   Msg data;
@@ -211,11 +215,12 @@ void handle_cts(Vci& v, Msg&& m) {
   // Adopt the RTS reference; the injection cookies below keep sreq alive.
   base::Ref<RequestImpl> rts_ref = from_cookie(m.h.sender_cookie);
   RequestImpl* sreq = rts_ref.get();
-  ensures(sreq->proto == SendProto::net_rndv, "cts: unexpected protocol");
+  ensures(sreq->proto == SendProto::rndv, "cts: unexpected protocol");
   sreq->peer_cookie = m.h.recver_cookie;
-  const WorldConfig& cfg = v.world->config();
+  const transport::TransportLimits& lim =
+      v.world->route(sreq->self, sreq->peer).limits();
   const int window =
-      sreq->total_bytes > cfg.net_pipeline_min ? cfg.net_pipeline_inflight : 1;
+      sreq->total_bytes > lim.pipeline_min ? lim.pipeline_inflight : 1;
   while (sreq->next_offset < sreq->total_bytes &&
          sreq->chunks_inflight < window) {
     inject_next_chunk(v, sreq);
@@ -293,20 +298,20 @@ class VciSink final : public transport::TransportSink {
     base::Ref<RequestImpl> ref = from_cookie(cookie);
     RequestImpl* sreq = ref.get();
     switch (sreq->proto) {
-      case SendProto::net_eager:
+      case SendProto::eager_cq:
         sreq->status.count_bytes = sreq->total_bytes;
         complete_request(sreq, Err::success);
         break;
-      case SendProto::net_rndv: {
-        const WorldConfig& cfg = v_.world->config();
-        const std::uint64_t chunk = chunk_bytes(cfg, sreq->total_bytes);
+      case SendProto::rndv: {
+        const transport::TransportLimits& lim =
+            v_.world->route(sreq->self, sreq->peer).limits();
+        const std::uint64_t chunk = chunk_bytes(lim, sreq->total_bytes);
         const std::uint64_t acked = std::min<std::uint64_t>(
             chunk, sreq->total_bytes - sreq->bytes_moved);
         sreq->bytes_moved += acked;
         --sreq->chunks_inflight;
-        const int window = sreq->total_bytes > cfg.net_pipeline_min
-                               ? cfg.net_pipeline_inflight
-                               : 1;
+        const int window =
+            sreq->total_bytes > lim.pipeline_min ? lim.pipeline_inflight : 1;
         while (sreq->next_offset < sreq->total_bytes &&
                sreq->chunks_inflight < window) {
           inject_next_chunk(v_, sreq);
@@ -412,51 +417,55 @@ Request isend_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
   m.h.tag = tag;
   m.h.total_bytes = r->total_bytes;
 
-  const WorldConfig& cfg = w.config();
+  // Select the message mode from the routed transport's capabilities and
+  // limits — the protocol layer never names a concrete transport.
+  transport::Transport& t = w.route(self, peer);
+  const unsigned caps = t.caps();
+  const transport::TransportLimits& lim = t.limits();
   base::LockGuard<base::InstrumentedMutex> g(v.mu);
-  if (w.same_node(self, peer)) {
-    if (!sync && r->total_bytes <= cfg.shm_eager_max) {
-      r->proto = SendProto::shm_eager;
-      m.h.kind = MsgKind::eager;
+  const bool can_eager =
+      !sync && r->total_bytes <= lim.eager_max &&
+      ((caps & transport::cap_eager_local) != 0 ||
+       r->total_bytes <= lim.lightweight_max ||
+       (caps & transport::cap_send_cq) != 0);
+  if (can_eager) {
+    m.h.kind = MsgKind::eager;
+    if ((caps & transport::cap_eager_local) != 0) {
+      r->proto = SendProto::eager_local;
       // Zero-envelope: the payload is copied straight from the user (or
-      // staging) buffer into the ring slot — or a pooled block for
-      // mid-size messages — before send_eager returns, so the operation
-      // is locally complete even when the send parks.
-      w.shm_transport().send_eager(
-          m.h,
-          base::ConstByteSpan(r->send_src,
-                              static_cast<std::size_t>(r->total_bytes)),
-          0);
+      // staging) buffer into transport storage before send_eager returns,
+      // so the operation is locally complete even when the send parks.
+      t.send_eager(m.h,
+                   base::ConstByteSpan(
+                       r->send_src, static_cast<std::size_t>(r->total_bytes)),
+                   0);
+      r->status.count_bytes = r->total_bytes;
+      complete_request(r, Err::success);
+    } else if (r->total_bytes <= lim.lightweight_max) {
+      r->proto = SendProto::light;
+      m.payload = base::pooled_copy(base::ConstByteSpan(
+          r->send_src, static_cast<std::size_t>(r->total_bytes)));
+      t.send(std::move(m), 0);
       r->status.count_bytes = r->total_bytes;
       complete_request(r, Err::success);
     } else {
-      r->proto = SendProto::shm_lmt;
-      m.h.kind = MsgKind::rts;
-      m.h.shm_src = r->send_src;
-      m.h.sender_cookie = cookie_of(r);
-      w.shm_transport().send(std::move(m), 0);
+      r->proto = SendProto::eager_cq;
+      m.payload = base::pooled_copy(base::ConstByteSpan(
+          r->send_src, static_cast<std::size_t>(r->total_bytes)));
+      t.send(std::move(m), cookie_of(r));
     }
   } else {
-    if (!sync && r->total_bytes <= cfg.net_lightweight_max) {
-      r->proto = SendProto::net_light;
-      m.h.kind = MsgKind::eager;
-      m.payload = base::pooled_copy(base::ConstByteSpan(
-          r->send_src, static_cast<std::size_t>(r->total_bytes)));
-      w.nic().inject(std::move(m), 0);
-      r->status.count_bytes = r->total_bytes;
-      complete_request(r, Err::success);
-    } else if (!sync && r->total_bytes <= cfg.net_eager_max) {
-      r->proto = SendProto::net_eager;
-      m.h.kind = MsgKind::eager;
-      m.payload = base::pooled_copy(base::ConstByteSpan(
-          r->send_src, static_cast<std::size_t>(r->total_bytes)));
-      w.nic().inject(std::move(m), cookie_of(r));
+    m.h.kind = MsgKind::rts;
+    m.h.sender_cookie = cookie_of(r);
+    if ((caps & transport::cap_mapped_memory) != 0) {
+      // The receiver copies straight out of our buffer (LMT): export it in
+      // the RTS and wait for the single ACK.
+      r->proto = SendProto::rndv_lmt;
+      m.h.shm_src = r->send_src;
     } else {
-      r->proto = SendProto::net_rndv;
-      m.h.kind = MsgKind::rts;
-      m.h.sender_cookie = cookie_of(r);
-      w.nic().inject(std::move(m), 0);
+      r->proto = SendProto::rndv;
     }
+    t.send(std::move(m), 0);
   }
   trace_emit(v, trace::Event::post_send, dst, tag, r->total_bytes,
              static_cast<std::uint64_t>(r->proto));

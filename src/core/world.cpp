@@ -1,8 +1,11 @@
 #include "mpx/core/world.hpp"
 
+#include <algorithm>
+
 #include "internal.hpp"
 #include "mpx/base/cvar.hpp"
 #include "mpx/base/log.hpp"
+#include "mpx/transport/builtin.hpp"
 
 namespace mpx {
 
@@ -46,6 +49,7 @@ WorldConfig WorldConfig::from_env(int nranks) {
       static_cast<int>(b::cvar_int("MPX_POOL_UNEXP_CAP", 256));
   c.wait_spin = static_cast<int>(b::cvar_int("MPX_WAIT_SPIN", 200));
   c.wait_yield = static_cast<int>(b::cvar_int("MPX_WAIT_YIELD", 32));
+  c.progress_fair = b::cvar_bool("MPX_PROGRESS_FAIR", true);
   return c;
 }
 
@@ -54,8 +58,12 @@ struct World::State {
   std::unique_ptr<trace::Tracer> tracer;
   std::unique_ptr<base::Clock> clock;
   base::VirtualClock* vclock = nullptr;  // aliases clock when virtual
-  std::unique_ptr<shm::ShmTransport> shm;
-  std::unique_ptr<net::Nic> nic;
+  // Transports and the progress registry are declared BEFORE `ranks`: VCI
+  // stage tables and sinks reference them, so the VCIs must die first.
+  std::vector<std::unique_ptr<transport::Transport>> transports;
+  /// First-match routing, compiled once: route[src * nranks + dst].
+  std::vector<transport::Transport*> route;
+  core_detail::ProgressRegistry registry;
   std::vector<std::unique_ptr<RankCtx>> ranks;
   std::atomic<std::int32_t> next_context_id{16};
   std::shared_ptr<core_detail::CommImpl> world_comm;
@@ -84,6 +92,11 @@ std::unique_ptr<Vci> make_vci(World* w, int rank, int id,
   v->unexpected.init(nbins);
   v->unexp_pool.set_max_free(static_cast<std::size_t>(
       cfg.pool_unexp_cap < 0 ? 0 : cfg.pool_unexp_cap));
+  // Compile the published registry into this VCI's stage table. The
+  // source/mask halves never change afterwards; the embedded counters are
+  // this VCI's own.
+  v->stages = w->progress_registry().compile();
+  v->fair = cfg.progress_fair;
   v->sink = core_detail::make_vci_sink(*v);
   return v;
 }
@@ -103,17 +116,55 @@ World::World(WorldConfig cfg) : s_(std::make_unique<State>()) {
   } else {
     s_->clock = std::make_unique<base::SteadyClock>();
   }
-  s_->shm = std::make_unique<shm::ShmTransport>(
-      cfg.nranks, cfg.max_vcis, cfg.shm_cells, cfg.shm_slot_bytes,
-      cfg.shm_deliver_batch);
-  s_->nic =
-      std::make_unique<net::Nic>(cfg.nranks, cfg.max_vcis, cfg.net, *s_->clock);
+  // Transport list, in routing order: extras first (they may claim rank
+  // pairs ahead of the builtins), then shm, then the NIC catch-all.
+  for (const auto& make : s_->cfg.extra_transports) {
+    auto t = make(*this);
+    expects(t != nullptr, "World: extra_transports factory returned null");
+    s_->transports.push_back(std::move(t));
+  }
+  for (auto& t : transport::make_builtin_transports(s_->cfg, *s_->clock)) {
+    s_->transports.push_back(std::move(t));
+  }
+  // Compile first-match routing into a flat table (reaches() must be pure).
+  s_->route.resize(static_cast<std::size_t>(cfg.nranks) * cfg.nranks, nullptr);
+  for (int src = 0; src < cfg.nranks; ++src) {
+    for (int dst = 0; dst < cfg.nranks; ++dst) {
+      for (const auto& t : s_->transports) {
+        if (t->reaches(src, dst)) {
+          s_->route[static_cast<std::size_t>(src) * cfg.nranks + dst] = t.get();
+          break;
+        }
+      }
+      expects(s_->route[static_cast<std::size_t>(src) * cfg.nranks + dst] !=
+                  nullptr,
+              "World: no transport reaches a rank pair");
+    }
+  }
+  // Progress registry: in-tree sources in Listing 1.1 order, then extras,
+  // then one poll stage per transport. Published before the first make_vci
+  // so every VCI compiles the same immutable stage order.
+  core_detail::register_builtin_sources(s_->registry);
+  for (const auto& make : s_->cfg.extra_sources) {
+    auto src = make(*this);
+    expects(src != nullptr, "World: extra_sources factory returned null");
+    s_->registry.add(std::move(src));
+  }
+  std::vector<transport::Transport*> tlist;
+  tlist.reserve(s_->transports.size());
+  for (const auto& t : s_->transports) tlist.push_back(t.get());
+  core_detail::register_transport_sources(s_->registry, tlist);
+  s_->registry.publish();
   s_->ranks.reserve(static_cast<std::size_t>(cfg.nranks));
   for (int r = 0; r < cfg.nranks; ++r) {
     auto rc = std::make_unique<RankCtx>();
     rc->rank = r;
     rc->world = this;
-    rc->vcis.push_back(make_vci(this, r, 0, progress_all));
+    rc->slots = std::vector<mc::atomic<core_detail::Vci*>>(
+        static_cast<std::size_t>(cfg.max_vcis));
+    rc->slots[0].store(make_vci(this, r, 0, progress_all).release(),
+                       std::memory_order_release);
+    rc->vci_count.store(1, std::memory_order_release);
     s_->ranks.push_back(std::move(rc));
   }
   // The world communicator: context ids 0 (p2p) and 1 (collectives).
@@ -164,17 +215,24 @@ Stream World::stream_create(int rank, const Info& info) {
 
   RankCtx& rc = *s_->ranks[static_cast<std::size_t>(rank)];
   base::LockGuard<base::InstrumentedMutex> g(rc.vcis_mu);
-  // Reuse a freed slot if available.
-  for (std::size_t i = 1; i < rc.vcis.size(); ++i) {
-    if (!rc.vcis[i]->active.load(std::memory_order_acquire)) {
-      rc.vcis[i] = make_vci(this, rank, static_cast<int>(i), mask);
+  // Reuse a freed slot if available. The release store publishes the fresh
+  // Vci to lock-free readers only after it is fully constructed.
+  const std::uint32_t n = rc.vci_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 1; i < n; ++i) {
+    Vci* old = rc.slots[i].load(std::memory_order_acquire);
+    if (!old->active.load(std::memory_order_acquire)) {
+      auto fresh = make_vci(this, rank, static_cast<int>(i), mask);
+      delete old;
+      rc.slots[i].store(fresh.release(), std::memory_order_release);
       return Stream(this, rank, static_cast<int>(i), mask);
     }
   }
-  expects(static_cast<int>(rc.vcis.size()) < s_->cfg.max_vcis,
+  expects(static_cast<int>(n) < s_->cfg.max_vcis,
           "stream_create: max_vcis exhausted (raise WorldConfig::max_vcis)");
-  const int id = static_cast<int>(rc.vcis.size());
-  rc.vcis.push_back(make_vci(this, rank, id, mask));
+  const int id = static_cast<int>(n);
+  rc.slots[n].store(make_vci(this, rank, id, mask).release(),
+                    std::memory_order_release);
+  rc.vci_count.store(n + 1, std::memory_order_release);
   return Stream(this, rank, id, mask);
 }
 
@@ -217,26 +275,23 @@ void World::finalize_rank(int rank) {
   // "MPI_Finalize will spin progress until all async tasks complete").
   for (;;) {
     bool quiet = true;
-    // Snapshot the table under its lock: stream_create may grow the vector
-    // concurrently, and the Vci objects themselves are stable (unique_ptr).
-    std::vector<core_detail::Vci*> vcis;
-    {
-      base::LockGuard<base::InstrumentedMutex> g(rc.vcis_mu);
-      vcis.reserve(rc.vcis.size());
-      for (const auto& v : rc.vcis) vcis.push_back(v.get());
-    }
-    for (std::size_t i = 0; i < vcis.size(); ++i) {
-      Vci& v = *vcis[i];
+    // Re-read the published length each pass: stream_create may grow the
+    // table concurrently (slot storage is fixed, so no reallocation races).
+    const std::uint32_t nvcis = rc.vci_count.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < nvcis; ++i) {
+      Vci& v = *rc.slots[i].load(std::memory_order_acquire);
       if (!v.active.load(std::memory_order_acquire)) continue;
       core_detail::progress_test(v, progress_all);
       base::LockGuard<base::InstrumentedMutex> g(v.mu);
-      const bool idle =
+      bool idle =
           v.asyncs.empty() && v.coll_hooks.empty() && v.lmt.empty() &&
           v.pack_engine.idle() &&
           v.active_ops.load(std::memory_order_relaxed) == 0 &&
-          v.inbox_asyncs.maybe_empty() && v.inbox_coll.maybe_empty() &&
-          s_->shm->idle(rank, static_cast<int>(i)) &&
-          s_->nic->idle(rank, static_cast<int>(i));
+          v.inbox_asyncs.maybe_empty() && v.inbox_coll.maybe_empty();
+      for (const auto& t : s_->transports) {
+        if (!idle) break;
+        idle = t->idle(rank, static_cast<int>(i));
+      }
       quiet = quiet && idle;
     }
     if (quiet) return;
@@ -244,11 +299,15 @@ void World::finalize_rank(int rank) {
 }
 
 core_detail::Vci* World::vci_ptr(int rank, int vci_id) const {
+  // Lock-free: two acquire loads on the progress hot path (wait/test loops
+  // resolve the VCI on every call). Writers serialize on rc.vcis_mu and
+  // publish slots/count with release stores.
   RankCtx& rc = *s_->ranks[static_cast<std::size_t>(rank)];
-  base::LockGuard<base::InstrumentedMutex> g(rc.vcis_mu);
-  expects(vci_id >= 0 && vci_id < static_cast<int>(rc.vcis.size()),
+  const std::uint32_t n = rc.vci_count.load(std::memory_order_acquire);
+  expects(vci_id >= 0 && static_cast<std::uint32_t>(vci_id) < n,
           "vci id out of range");
-  return rc.vcis[static_cast<std::size_t>(vci_id)].get();
+  return rc.slots[static_cast<std::size_t>(vci_id)].load(
+      std::memory_order_acquire);
 }
 
 base::MutexStats World::vci_lock_stats(int rank, int vci_id) const {
@@ -266,12 +325,29 @@ World::StageCounters World::vci_stage_counters(int rank, int vci_id) const {
   Vci& v = *vci_ptr(rank, vci_id);
   base::LockGuard<base::InstrumentedMutex> g(v.mu);
   StageCounters c;
-  c.dtype = v.stage_hits[0];
-  c.coll = v.stage_hits[1];
-  c.async = v.stage_hits[2];
-  c.shm = v.stage_hits[3];
-  c.net = v.stage_hits[4];
+  for (const core_detail::ProgressStage& st : v.stages) {
+    switch (st.mask) {
+      case progress_dtype: c.dtype += st.hits; break;
+      case progress_coll: c.coll += st.hits; break;
+      case progress_async: c.async += st.hits; break;
+      case progress_shm: c.shm += st.hits; break;
+      case progress_net: c.net += st.hits; break;
+      default: break;  // progress_user stages: vci_stage_table only
+    }
+  }
   return c;
+}
+
+std::vector<World::StageCounter> World::vci_stage_table(int rank,
+                                                        int vci_id) const {
+  Vci& v = *vci_ptr(rank, vci_id);
+  base::LockGuard<base::InstrumentedMutex> g(v.mu);
+  std::vector<StageCounter> out;
+  out.reserve(v.stages.size());
+  for (const core_detail::ProgressStage& st : v.stages) {
+    out.push_back(StageCounter{st.source->name(), st.mask, st.calls, st.hits});
+  }
+  return out;
 }
 
 World::MatchCounters World::vci_match_counters(int rank, int vci_id) const {
@@ -289,8 +365,27 @@ base::PoolStats World::vci_unexp_pool_stats(int rank, int vci_id) const {
   return v.unexp_pool.stats();
 }
 
-shm::ShmStats World::shm_stats() const { return s_->shm->stats(); }
-net::NicStats World::net_stats() const { return s_->nic->stats(); }
+std::size_t World::transport_count() const { return s_->transports.size(); }
+
+transport::Transport& World::transport_at(std::size_t i) const {
+  expects(i < s_->transports.size(), "transport_at: index out of range");
+  return *s_->transports[i];
+}
+
+transport::Transport* World::find_transport(std::string_view name) const {
+  for (const auto& t : s_->transports) {
+    if (name == t->name()) return t.get();
+  }
+  return nullptr;
+}
+
+transport::Transport& World::route(int src, int dst) const {
+  return *s_->route[static_cast<std::size_t>(src) * s_->cfg.nranks + dst];
+}
+
+const core_detail::ProgressRegistry& World::progress_registry() const {
+  return s_->registry;
+}
 
 trace::Tracer& World::tracer() { return *s_->tracer; }
 
@@ -304,9 +399,6 @@ RankCtx& World::rank_ctx(int rank) {
 }
 
 Vci& World::vci(int rank, int vci_id) { return *vci_ptr(rank, vci_id); }
-
-shm::ShmTransport& World::shm_transport() { return *s_->shm; }
-net::Nic& World::nic() { return *s_->nic; }
 
 Request World::grequest_start(int rank, core_detail::GrequestFns fns) {
   expects(rank >= 0 && rank < size(), "grequest_start: rank out of range");

@@ -6,13 +6,16 @@ namespace mpx::net {
 
 using transport::Msg;
 
-Nic::Nic(int nranks, int max_vcis, CostModel model, const base::Clock& clock)
+Nic::Nic(int nranks, int max_vcis, CostModel model, const base::Clock& clock,
+         transport::TransportLimits limits)
     : nranks_(nranks),
       max_vcis_(max_vcis),
       model_(model),
+      limits_(limits),
       clock_(clock),
       channels_(static_cast<std::size_t>(nranks) * nranks * max_vcis),
-      send_cqs_(static_cast<std::size_t>(nranks) * max_vcis) {
+      send_cqs_(static_cast<std::size_t>(nranks) * max_vcis),
+      ep_pending_(static_cast<std::size_t>(nranks) * max_vcis) {
   expects(nranks >= 1 && max_vcis >= 1, "Nic: bad dimensions");
 }
 
@@ -32,6 +35,9 @@ Nic::SendCq& Nic::send_cq(int rank, int vci) {
 const Nic::SendCq& Nic::send_cq(int rank, int vci) const {
   return send_cqs_[static_cast<std::size_t>(rank) * max_vcis_ + vci];
 }
+std::atomic<std::uint32_t>& Nic::ep_pending(int rank, int vci) {
+  return ep_pending_[static_cast<std::size_t>(rank) * max_vcis_ + vci];
+}
 
 void Nic::inject(Msg&& m, std::uint64_t cookie) {
   expects(m.h.src_rank >= 0 && m.h.src_rank < nranks_ && m.h.dst_rank >= 0 &&
@@ -46,7 +52,13 @@ void Nic::inject(Msg&& m, std::uint64_t cookie) {
   const int src_rank = m.h.src_rank;
   const int src_vci = m.h.src_vci;
 
+  // Pending counts rise before the matching push (mirror of the engine's
+  // hook_count): a poller reading zero is then guaranteed the queues held
+  // nothing it could miss, while a nonzero read at worst costs one
+  // unproductive locked scan.
   Channel& ch = channel(m.h.src_rank, m.h.dst_rank, m.h.dst_vci);
+  ep_pending(m.h.dst_rank, m.h.dst_vci)
+      .fetch_add(1, std::memory_order_release);
   {
     base::LockGuard<base::Spinlock> g(ch.mu);
     const double due = model_.deliver_time(now, ch.clear_time, bytes);
@@ -56,6 +68,7 @@ void Nic::inject(Msg&& m, std::uint64_t cookie) {
 
   if (cookie != 0) {
     SendCq& cq = send_cq(src_rank, src_vci);
+    ep_pending(src_rank, src_vci).fetch_add(1, std::memory_order_release);
     base::LockGuard<base::Spinlock> g(cq.mu);
     cq.q.push_back(CqEntry{model_.inject_done_time(now, bytes), cookie});
   }
@@ -63,6 +76,10 @@ void Nic::inject(Msg&& m, std::uint64_t cookie) {
 
 void Nic::poll(int rank, int vci, transport::TransportSink& sink,
                int* made_progress) {
+  // Quiet-endpoint fast path: nothing in flight to or from (rank, vci)
+  // means no lock or clock read is worth paying. A racing inject() is
+  // caught by a later poll (delivery may lag injection, as everywhere).
+  if (ep_pending(rank, vci).load(std::memory_order_acquire) == 0) return;
   const double now = clock_.now();
 
   // 1) Fire due sender-side completions (injection DMA done).
@@ -75,6 +92,7 @@ void Nic::poll(int rank, int vci, transport::TransportSink& sink,
       cookie = cq.q.front().cookie;
       cq.q.pop_front();
     }
+    ep_pending(rank, vci).fetch_sub(1, std::memory_order_relaxed);
     cq_events_.fetch_add(1, std::memory_order_relaxed);
     if (made_progress != nullptr) *made_progress = 1;
     sink.on_send_complete(cookie);
@@ -91,6 +109,7 @@ void Nic::poll(int rank, int vci, transport::TransportSink& sink,
         m = std::move(ch.in_flight.front().msg);
         ch.in_flight.pop_front();
       }
+      ep_pending(rank, vci).fetch_sub(1, std::memory_order_relaxed);
       delivered_.fetch_add(1, std::memory_order_relaxed);
       if (made_progress != nullptr) *made_progress = 1;
       sink.on_msg(std::move(m));
@@ -116,6 +135,15 @@ NicStats Nic::stats() const {
   return NicStats{injected_.load(std::memory_order_relaxed),
                   delivered_.load(std::memory_order_relaxed),
                   cq_events_.load(std::memory_order_relaxed)};
+}
+
+transport::TransportStats Nic::transport_stats() const {
+  transport::TransportStats s;
+  s.sends = injected_.load(std::memory_order_relaxed);
+  s.delivered = delivered_.load(std::memory_order_relaxed);
+  s.backlogged = 0;  // the simulated NIC never back-pressures injection
+  s.completions = cq_events_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace mpx::net

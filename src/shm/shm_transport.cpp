@@ -30,13 +30,15 @@ std::size_t round_up(std::size_t n, std::size_t align) {
 }  // namespace
 
 ShmTransport::ShmTransport(int nranks, int max_vcis, std::size_t cells,
-                           std::size_t slot_bytes, int deliver_batch)
+                           std::size_t slot_bytes, int deliver_batch,
+                           int ranks_per_node, std::size_t eager_max)
     : nranks_(nranks),
       max_vcis_(max_vcis),
       cells_(round_up_pow2(cells)),
       slot_bytes_(0),
       stride_(round_up(sizeof(Cell) + slot_bytes, kCellAlign)),
       deliver_batch_(deliver_batch < 1 ? 1 : deliver_batch),
+      ranks_per_node_(ranks_per_node < 1 ? nranks : ranks_per_node),
       channels_(static_cast<std::size_t>(nranks) * nranks * max_vcis),
       endpoints_(static_cast<std::size_t>(nranks) * max_vcis) {
   expects(nranks >= 1 && max_vcis >= 1 && cells >= 1,
@@ -46,6 +48,8 @@ ShmTransport::ShmTransport(int nranks, int max_vcis, std::size_t cells,
   // The stride rounding leaves free bytes after the cell header; give them
   // to the inline area so the whole cache line is usable payload space.
   slot_bytes_ = stride_ - sizeof(Cell);
+  limits_.eager_max = eager_max;
+  limits_.lightweight_max = eager_max;  // every shm eager is locally complete
 }
 
 ShmTransport::~ShmTransport() {
@@ -300,6 +304,17 @@ ShmStats ShmTransport::stats() const {
                   delivered_.load(std::memory_order_relaxed),
                   batched_.load(std::memory_order_relaxed),
                   inline_hits_.load(std::memory_order_relaxed)};
+}
+
+transport::TransportStats ShmTransport::transport_stats() const {
+  transport::TransportStats s;
+  s.sends = sends_.load(std::memory_order_relaxed);
+  s.delivered = delivered_.load(std::memory_order_relaxed);
+  s.backlogged = ring_full_.load(std::memory_order_relaxed);
+  // Shm eager sends are locally complete; deferred-cookie completions (full
+  // ring parks) are rare and folded into `backlogged`.
+  s.completions = 0;
+  return s;
 }
 
 }  // namespace mpx::shm

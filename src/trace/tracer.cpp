@@ -16,6 +16,7 @@ std::string to_string(Event e) {
     case Event::ack: return "ack";
     case Event::complete: return "complete";
     case Event::cancel: return "cancel";
+    case Event::progress: return "progress";
   }
   return "?";
 }

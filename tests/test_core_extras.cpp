@@ -56,8 +56,12 @@ TEST(Pack, AsyncUnpackRoundTrip) {
 TEST(Pack, DatatypeStageRunsBeforeOthers) {
   // The dtype engine is stage 1: when it has work, a progress call services
   // it and early-exits (Listing 1.1 skip semantics) — observable as the
-  // async hook NOT being polled while a pack is pending.
-  auto w = World::create(WorldConfig{.nranks = 1});
+  // async hook NOT being polled while a pack is pending. Strict priority
+  // holds only with fair rotation off; the default rotating scan trades it
+  // for starvation freedom (see test_progress_fairness.cpp).
+  WorldConfig cfg{.nranks = 1};
+  cfg.progress_fair = false;
+  auto w = World::create(cfg);
   Stream s = w->null_stream(0);
   std::vector<std::int32_t> src(1024, 3);
   std::vector<std::byte> packed(4096);

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "mpx/net/nic.hpp"
 #include "test_util.hpp"
 
 using namespace mpx;
@@ -166,7 +167,7 @@ TEST(P2pNet, PipelineChunksLargeMessage) {
   ASSERT_TRUE(rv.is_complete());
   EXPECT_EQ(r, v);
   // The pipeline actually chunked: more than 2 messages crossed the wire.
-  EXPECT_GT(w->net_stats().delivered, 8u);
+  EXPECT_GT(mpx_test::transport_as<net::Nic>(*w, "nic").stats().delivered, 8u);
 }
 
 // --- concurrent ranks-on-threads smoke ---

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mpx/base/pool.hpp"
+#include "mpx/shm/shm_transport.hpp"
 #include "test_util.hpp"
 
 using namespace mpx;
@@ -41,7 +42,7 @@ TEST(ShmDatapath, InSlotEagerMakesZeroPayloadAllocations) {
   constexpr int kN = 64;
   constexpr std::size_t kBytes = 128;  // <= default slot_bytes (256)
 
-  const shm::ShmStats shm0 = w->shm_stats();
+  const shm::ShmStats shm0 = mpx_test::transport_as<shm::ShmTransport>(*w, "shm").stats();
   const base::PoolStats pay0 = base::PayloadPool::instance().stats();
 
   std::vector<std::vector<std::uint8_t>> recv_bufs(
@@ -66,7 +67,7 @@ TEST(ShmDatapath, InSlotEagerMakesZeroPayloadAllocations) {
               pattern(i, kBytes));
   }
 
-  const shm::ShmStats shm1 = w->shm_stats();
+  const shm::ShmStats shm1 = mpx_test::transport_as<shm::ShmTransport>(*w, "shm").stats();
   const base::PoolStats pay1 = base::PayloadPool::instance().stats();
   EXPECT_EQ(shm1.sends - shm0.sends, static_cast<std::uint64_t>(kN));
   EXPECT_EQ(shm1.inline_payload_hits - shm0.inline_payload_hits,
@@ -83,7 +84,7 @@ TEST(ShmDatapath, BatchedDeliveryCountersSurfaceThroughWorldStats) {
   Comm c0 = w->comm_world(0);
   Comm c1 = w->comm_world(1);
   constexpr int kN = 8;
-  const shm::ShmStats before = w->shm_stats();
+  const shm::ShmStats before = mpx_test::transport_as<shm::ShmTransport>(*w, "shm").stats();
 
   std::vector<std::uint8_t> v(64, 0xab);
   for (int i = 0; i < kN; ++i) {
@@ -95,7 +96,7 @@ TEST(ShmDatapath, BatchedDeliveryCountersSurfaceThroughWorldStats) {
   for (int i = 0; i < kN; ++i) {
     c1.recv(r.data(), r.size(), dtype::Datatype::byte(), 0, i);
   }
-  const shm::ShmStats after = w->shm_stats();
+  const shm::ShmStats after = mpx_test::transport_as<shm::ShmTransport>(*w, "shm").stats();
   EXPECT_EQ(after.delivered - before.delivered, static_cast<std::uint64_t>(kN));
   EXPECT_GE(after.batched_deliveries - before.batched_deliveries, 1u);
 }
@@ -175,7 +176,7 @@ TEST(ShmDatapath, RandomizedFifoAcrossParkingWildcardsAndLmtCutover) {
                             n) == 0)
         << "payload of message " << i << " corrupted";
   }
-  EXPECT_GT(w->shm_stats().ring_full_events, 0u)
+  EXPECT_GT(mpx_test::transport_as<shm::ShmTransport>(*w, "shm").stats().ring_full_events, 0u)
       << "size the ring down: the scenario must actually exercise parking";
 }
 

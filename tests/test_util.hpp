@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <random>
+#include <string_view>
 #include <vector>
 
 #include "mpx/base/thread.hpp"
@@ -51,6 +52,19 @@ inline void run_ranks(mpx::World& world,
   for (auto& e : errs) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+/// Locate a transport by registry name and downcast to its concrete type
+/// (e.g. transport_as<mpx::shm::ShmTransport>(w, "shm") for shm-specific
+/// stats the unified TransportStats view doesn't carry). The caller must
+/// include the concrete transport's header.
+template <typename T>
+T& transport_as(mpx::World& w, std::string_view name) {
+  mpx::transport::Transport* t = w.find_transport(name);
+  mpx::expects(t != nullptr, "transport_as: no transport with that name");
+  T* typed = dynamic_cast<T*>(t);
+  mpx::expects(typed != nullptr, "transport_as: transport has another type");
+  return *typed;
 }
 
 /// A world whose ranks all talk over the simulated NIC (one rank per node).
