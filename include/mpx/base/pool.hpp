@@ -196,8 +196,8 @@ class FixedBlockPool {
   };
 
   const char* name_;
-  std::size_t block_size_;
-  std::size_t max_free_;
+  const std::size_t block_size_;
+  const std::size_t max_free_;
   mutable Spinlock mu_;
   Node* free_ MPX_GUARDED_BY(mu_) = nullptr;
   PoolStats st_ MPX_GUARDED_BY(mu_);

@@ -83,11 +83,12 @@ class SimDevice {
                  const std::byte* chost, std::size_t bytes,
                  const Stream& stream);
 
-  World* world_;
-  DeviceModel model_;
+  World* world_;        // mpxlint: allow(tsa-ratchet) immutable after construction
+  DeviceModel model_;   // mpxlint: allow(tsa-ratchet) immutable after construction
   mutable base::Spinlock mu_;
-  double queue_clear_time_ = 0.0;  // DMA queue serialization point
-  std::uint64_t copies_ = 0;
+  // DMA queue serialization point.
+  double queue_clear_time_ MPX_GUARDED_BY(mu_) = 0.0;
+  std::uint64_t copies_ MPX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mpx::dev

@@ -65,12 +65,12 @@ class SimDisk {
 
  private:
   friend class File;
-  World* world_;
-  DiskModel model_;
+  World* world_;      // mpxlint: allow(tsa-ratchet) immutable after construction
+  DiskModel model_;   // mpxlint: allow(tsa-ratchet) immutable after construction
   mutable base::Spinlock mu_;
-  std::map<std::string, std::vector<std::byte>> objects_;
-  std::uint64_t reads_ = 0;
-  std::uint64_t writes_ = 0;
+  std::map<std::string, std::vector<std::byte>> objects_ MPX_GUARDED_BY(mu_);
+  std::uint64_t reads_ MPX_GUARDED_BY(mu_) = 0;
+  std::uint64_t writes_ MPX_GUARDED_BY(mu_) = 0;
 };
 
 /// Handle to one object on a SimDisk, bound to a stream whose progress

@@ -58,6 +58,8 @@ class Coro {
     /// Final suspend: the frame survives until the Coro handle destroys it,
     /// so done() remains valid.
     std::suspend_always final_suspend() noexcept {
+      // Pairs with the acquire load in Coro::done() — same shared flag
+      // reached through another member. mpxlint: allow(memory-order)
       done_flag->store(true, std::memory_order_release);
       return {};
     }
@@ -82,6 +84,8 @@ class Coro {
 
   /// True once the coroutine ran to completion (one atomic read).
   bool done() const {
+    // Pairs with the release store in promise_type::final_suspend() —
+    // same shared flag, another member. mpxlint: allow(memory-order)
     return done_ != nullptr && done_->load(std::memory_order_acquire);
   }
 

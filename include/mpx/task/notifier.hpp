@@ -45,7 +45,7 @@ class RequestNotifier {
   AsyncResult poll();
   static AsyncResult trampoline(AsyncThing& thing);
 
-  Stream stream_;
+  Stream stream_;  // mpxlint: allow(tsa-ratchet) immutable after construction
   // Rank task_queue: poll() runs under the stream's VCI lock (rank vci), so
   // this lock always nests inside it — never the other way around.
   mutable base::Spinlock mu_{"task:notifier", base::LockRank::task_queue};

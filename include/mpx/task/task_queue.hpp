@@ -43,7 +43,7 @@ class TaskQueue {
   AsyncResult class_poll();
   static AsyncResult trampoline(AsyncThing& thing);
 
-  Stream stream_;
+  Stream stream_;  // mpxlint: allow(tsa-ratchet) immutable after construction
   // Rank task_queue: class_poll runs under the stream's VCI lock (rank vci),
   // so this lock always nests inside it — never the other way around.
   mutable base::Spinlock mu_{"task:queue", base::LockRank::task_queue};

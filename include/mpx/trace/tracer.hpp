@@ -78,10 +78,10 @@ class Tracer {
   void dump(std::ostream& os) const;
 
  private:
-  std::size_t cap_;
+  const std::size_t cap_;  // ring capacity, frozen at construction
   mutable base::Spinlock mu_;
-  std::vector<Record> ring_;
-  std::uint64_t next_ = 0;
+  std::vector<Record> ring_ MPX_GUARDED_BY(mu_);
+  std::uint64_t next_ MPX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mpx::trace

@@ -1,152 +1,33 @@
 #!/usr/bin/env python3
-"""Reject atomic operations that silently default to seq_cst.
+"""Compatibility shim over tools/mpxlint's memory-order check.
 
-Scans C++ sources for member calls on atomics (load, store, exchange,
-fetch_*, compare_exchange_*) whose argument list names no std::memory_order.
-Every atomic op in mpx must either spell out its order or carry the
-annotation comment
+The implicit-seq_cst atomic lint that used to live here (reject atomic ops
+whose argument list names no std::memory_order, unless annotated with
+"// mo: seq_cst intentional") is now one rule of mpxlint's `memory-order`
+check, alongside release/acquire pairing analysis. This script survives so
+existing entry points (`scripts/check_atomics.py include src`, older CI
+configs, muscle memory) keep working; it forwards its arguments to
 
-    // mo: seq_cst intentional
-
-on the same line or the line above, which documents that the full fence is
-deliberate rather than a default nobody thought about.
+    python3 tools/mpxlint --check memory-order <paths...>
 
 Usage: check_atomics.py <dir-or-file> [...]
-Exit status: 0 clean, 1 findings, 2 usage error.
+Exit status: 0 clean, 1 findings, 2 usage error.  (Same contract as before;
+mpxlint uses the same codes.)
 """
 
 from __future__ import annotations
 
-import re
+import os
 import sys
-from pathlib import Path
 
-# Method names that exist (with a trailing memory_order parameter) on
-# std::atomic and mpx::mc::atomic. Deliberately excludes generic names such
-# as clear()/wait() that are common on non-atomic types.
-ATOMIC_METHODS = (
-    "load",
-    "store",
-    "exchange",
-    "fetch_add",
-    "fetch_sub",
-    "fetch_and",
-    "fetch_or",
-    "fetch_xor",
-    "compare_exchange_weak",
-    "compare_exchange_strong",
-    "test_and_set",
-)
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools", "mpxlint"))
 
-CALL_RE = re.compile(r"\.\s*(" + "|".join(ATOMIC_METHODS) + r")\s*\(")
-ANNOTATION = "// mo: seq_cst intentional"
-# An order is "explicit" if the argument list names std::memory_order or
-# forwards a conventionally-named order variable (mo / order), as the
-# mc::atomic shim methods do.
-ORDER_RE = re.compile(r"memory_order|\bmo\b|\border\b")
-SUFFIXES = {".hpp", ".h", ".cpp", ".cc", ".cxx", ".ipp"}
-
-
-def strip_noncode(line: str) -> str:
-    """Blank out string/char literals and // comments (crude but adequate)."""
-    out = []
-    i, n = 0, len(line)
-    while i < n:
-        ch = line[i]
-        if ch == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        if ch in "\"'":
-            quote = ch
-            out.append(" ")
-            i += 1
-            while i < n and line[i] != quote:
-                i += 2 if line[i] == "\\" else 1
-            i += 1
-            continue
-        out.append(ch)
-        i += 1
-    return "".join(out)
-
-
-def call_args(lines: list[str], row: int, col: int) -> str | None:
-    """Return the argument text of the call opening at (row, col), spanning
-    lines if needed; None if the parens never balance (macro soup)."""
-    depth = 0
-    buf = []
-    for r in range(row, min(row + 12, len(lines))):
-        text = strip_noncode(lines[r])
-        start = col if r == row else 0
-        for c in range(start, len(text)):
-            ch = text[c]
-            if ch == "(":
-                depth += 1
-                if depth == 1:
-                    continue
-            elif ch == ")":
-                depth -= 1
-                if depth == 0:
-                    return "".join(buf)
-            if depth >= 1:
-                buf.append(ch)
-    return None
-
-
-def annotated(lines: list[str], row: int) -> bool:
-    here = ANNOTATION in lines[row]
-    above = row > 0 and ANNOTATION in lines[row - 1]
-    return here or above
-
-
-def scan_file(path: Path) -> list[str]:
-    findings = []
-    try:
-        lines = path.read_text(encoding="utf-8").splitlines()
-    except (OSError, UnicodeDecodeError) as e:
-        return [f"{path}: unreadable ({e})"]
-    in_block_comment = False
-    for row, raw in enumerate(lines):
-        if in_block_comment:
-            if "*/" in raw:
-                in_block_comment = False
-            continue
-        if "/*" in raw and "*/" not in raw:
-            in_block_comment = True
-        code = strip_noncode(raw)
-        for m in CALL_RE.finditer(code):
-            args = call_args(lines, row, m.end(1))
-            if args is not None and ORDER_RE.search(args):
-                continue
-            if annotated(lines, row):
-                continue
-            findings.append(
-                f"{path}:{row + 1}: {m.group(1)}() with implicit seq_cst "
-                f"— pass a std::memory_order or annotate '{ANNOTATION}'"
-            )
-    return findings
-
-
-def main(argv: list[str]) -> int:
-    if len(argv) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    findings: list[str] = []
-    checked = 0
-    for arg in argv[1:]:
-        root = Path(arg)
-        files = [root] if root.is_file() else sorted(
-            p for p in root.rglob("*") if p.suffix in SUFFIXES
-        )
-        for f in files:
-            checked += 1
-            findings.extend(scan_file(f))
-    for line in findings:
-        print(line)
-    print(
-        f"check_atomics: {checked} file(s), {len(findings)} finding(s)",
-        file=sys.stderr,
-    )
-    return 1 if findings else 0
+from mpxlint.cli import main  # noqa: E402
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(["--check", "memory-order", *sys.argv[1:]]))

@@ -198,7 +198,7 @@ Request Comm::imrecv(void* buf, std::size_t count, dtype::Datatype dt,
 
 Comm Comm::coll_view() const {
   expects(valid(), "Comm::coll_view: invalid communicator");
-  std::lock_guard<std::mutex> g(impl_->clone_mu);
+  base::LockGuard<base::InstrumentedMutex> g(impl_->clone_mu);
   if (impl_->coll_clone == nullptr) {
     auto ci = std::make_shared<CommImpl>();
     ci->world = impl_->world;
@@ -216,7 +216,7 @@ int Comm::next_coll_tag() const {
   expects(valid(), "Comm::next_coll_tag: invalid communicator");
   if (impl_->coll_seq.empty()) {
     // Lazily sized; only resized once under the clone mutex.
-    std::lock_guard<std::mutex> g(impl_->clone_mu);
+    base::LockGuard<base::InstrumentedMutex> g(impl_->clone_mu);
     if (impl_->coll_seq.empty()) impl_->coll_seq.assign(impl_->group.size(), 0);
   }
   int& slot = impl_->coll_seq[static_cast<std::size_t>(my_rank_)];

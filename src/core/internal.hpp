@@ -89,14 +89,14 @@ struct LmtWork {
 struct Vci {
   ~Vci() MPX_NO_THREAD_SAFETY_ANALYSIS;  // teardown is single-threaded
 
-  int id = 0;
-  int rank = -1;
-  World* world = nullptr;
+  int id = 0;              // mpxlint: allow(tsa-ratchet) immutable after publish
+  int rank = -1;           // mpxlint: allow(tsa-ratchet) immutable after publish
+  World* world = nullptr;  // mpxlint: allow(tsa-ratchet) immutable after publish
   /// false after stream_free. mc::atomic: the model checker validates the
   /// publish protocol (store-release strictly AFTER dropping `mu`, so a
   /// concurrent stream_create can never destroy a held mutex).
   mc::atomic<bool> active{true};
-  unsigned default_mask = progress_all;
+  unsigned default_mask = progress_all;  // mpxlint: allow(tsa-ratchet) immutable after publish
 
   base::InstrumentedMutex mu{"vci", base::LockRank::vci};
 
@@ -125,12 +125,15 @@ struct Vci {
 
   // Protocol sink for transport polls (constructed by protocol.cpp before
   // the VCI is published; the sink itself must only be *invoked* under mu).
+  // mpxlint: allow(tsa-ratchet) pointer immutable after publish
   std::unique_ptr<transport::TransportSink> sink;
 
   // Accounting.
   std::uint64_t progress_calls MPX_GUARDED_BY(mu) = 0;
-  std::atomic<std::int64_t> active_ops{0};  ///< in-flight p2p/coll requests
-  std::atomic<std::int64_t> hook_count{0};  ///< linked async+coll hooks
+  // Raw std::atomic on purpose: lock-free accounting read by fast paths,
+  // not modeled protocol state (the queues they mirror are).
+  std::atomic<std::int64_t> active_ops{0};  ///< in-flight p2p/coll requests — mpxlint: allow(mc-coverage)
+  std::atomic<std::int64_t> hook_count{0};  ///< linked async+coll hooks — mpxlint: allow(mc-coverage)
 
   /// Compiled progress pipeline: one entry per registered ProgressSource,
   /// in registry order. The source/mask halves are immutable after make_vci
@@ -144,7 +147,7 @@ struct Vci {
   /// starve later ones. Unused (stays 0) when !fair.
   std::uint32_t stage_cursor MPX_GUARDED_BY(mu) = 0;
   /// WorldConfig::progress_fair, frozen at make_vci.
-  bool fair = true;
+  bool fair = true;  // mpxlint: allow(tsa-ratchet) immutable after publish
 };
 
 /// Per-rank state: the VCI table. Storage is fixed at max_vcis slots so the
@@ -158,8 +161,8 @@ struct Vci {
 /// only when stream_create reuses it after stream_free published
 /// active == false, and using a freed Stream handle was always UB.
 struct RankCtx {
-  int rank = -1;
-  World* world = nullptr;
+  int rank = -1;           // mpxlint: allow(tsa-ratchet) immutable after init
+  World* world = nullptr;  // mpxlint: allow(tsa-ratchet) immutable after init
   /// index = vci id; [0] always live. Sized to max_vcis at construction
   /// (never reallocates); entries past vci_count are null.
   std::vector<mc::atomic<Vci*>> slots;
@@ -190,8 +193,10 @@ class Coordinator {
 
  private:
   int n_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  // Comm construction is a true rendezvous across member threads — it
+  // blocks by design and is exercised outside the model checker.
+  std::mutex mu_;              // mpxlint: allow(mc-coverage) construction-time rendezvous
+  std::condition_variable cv_; // mpxlint: allow(mc-coverage) construction-time rendezvous
   std::uint64_t epoch_ = 0;
   int arrived_ = 0;
   std::vector<std::any> inputs_;
@@ -200,21 +205,27 @@ class Coordinator {
 
 /// Shared communicator state. Comm handles are per-rank views of this.
 struct CommImpl {
-  World* world = nullptr;  ///< comms must not outlive their World
-  std::int32_t context_id = 0;       ///< p2p matching context
-  std::int32_t coll_context_id = 0;  ///< collective matching context
-  std::vector<int> group;         ///< comm rank -> world rank
-  std::vector<int> vcis;          ///< comm rank -> VCI id at that rank
-  std::vector<int> world_to_comm; ///< world rank -> comm rank (or -1)
+  // Everything below except coll_clone is frozen by the end of comm
+  // construction and read-only afterwards.
+  World* world = nullptr;  ///< comms must not outlive their World — mpxlint: allow(tsa-ratchet) immutable
+  std::int32_t context_id = 0;       ///< p2p matching context — mpxlint: allow(tsa-ratchet) immutable
+  std::int32_t coll_context_id = 0;  ///< collective matching context — mpxlint: allow(tsa-ratchet) immutable
+  std::vector<int> group;         ///< comm rank -> world rank — mpxlint: allow(tsa-ratchet) immutable
+  std::vector<int> vcis;          ///< comm rank -> VCI id at that rank — mpxlint: allow(tsa-ratchet) immutable
+  std::vector<int> world_to_comm; ///< world rank -> comm rank (or -1) — mpxlint: allow(tsa-ratchet) immutable
   std::unique_ptr<Coordinator> coord;
 
   /// Per-member collective sequence numbers (each member touches only its
   /// own slot). Identical call order on all members — an MPI requirement —
   /// yields matching tags.
+  // mpxlint: allow(tsa-ratchet) each member mutates only its own slot
   std::vector<int> coll_seq;
   /// Lazily-built view whose p2p context is the collective context.
-  std::mutex clone_mu;
-  std::shared_ptr<CommImpl> coll_clone;
+  /// Unranked InstrumentedMutex (leaf: nothing nests inside it) so the
+  /// clone path gets lock instrumentation + TSA coverage like every other
+  /// core lock.
+  base::InstrumentedMutex clone_mu{"comm:clone", base::LockRank::none};
+  std::shared_ptr<CommImpl> coll_clone MPX_GUARDED_BY(clone_mu);
 
   int to_world(int comm_rank) const { return group[comm_rank]; }
   int to_comm(int world_rank) const { return world_to_comm[world_rank]; }

@@ -214,7 +214,10 @@ int progress_test(Vci& v, unsigned mask) {
   // entries (enqueue_hook increments before pushing), so when it reads zero
   // both mailbox spinlocks can be skipped outright. A racing registration
   // is picked up by a later progress call — polling may lag registration.
-  if (v.hook_count.load(std::memory_order_acquire) != 0) {
+  // Relaxed: the counter only gates whether we take the mailbox locks,
+  // which provide the actual ordering; there is no release store to pair
+  // an acquire with (both RMWs are relaxed).
+  if (v.hook_count.load(std::memory_order_relaxed) != 0) {
     drain_inbox(v, v.inbox_coll, v.coll_hooks);
     drain_inbox(v, v.inbox_asyncs, v.asyncs);
   }

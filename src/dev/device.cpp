@@ -77,11 +77,11 @@ Request SimDevice::submit(Dir dir, DeviceBuffer dbuf, std::size_t doff,
   op->host_dst = host;
   op->host_src = chost;
   op->bytes = bytes;
-  op->counter = &copies_;
-  op->counter_mu = &mu_;
   {
     // One DMA queue per device: copies serialize in issue order.
     base::LockGuard<base::Spinlock> g(mu_);
+    op->counter = &copies_;
+    op->counter_mu = &mu_;
     const double start = std::max(world_->wtime(), queue_clear_time_);
     op->due = start + model_.launch_latency +
               static_cast<double>(bytes) / bw;

@@ -1,0 +1,10 @@
+"""Entry point so the tool runs as `python3 tools/mpxlint ...`."""
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from mpxlint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+// mpxlint fixture: blocking wait inside a ProgressSource::poll override.
+// BadSource::poll calls helper_drain(), which calls wait_all() — progress
+// re-entering a blocking wait is the paper's §3.4 deadlock scenario.
+// Expected finding: progress-contract (blocking call, via the transitive
+// call graph, not just the direct body).
+
+namespace fix {
+
+struct Vci;
+
+struct ProgressSource {
+  virtual bool idle(Vci& v) = 0;
+  virtual void poll(Vci& v, int* made) = 0;
+};
+
+void wait_all(int n);
+
+void helper_drain(int n) {
+  wait_all(n);  // blocking wait reachable from poll
+}
+
+struct BadSource final : ProgressSource {
+  bool idle(Vci&) override { return true; }
+  void poll(Vci&, int* made) override {
+    helper_drain(3);
+    *made = 0;
+  }
+};
+
+}  // namespace fix

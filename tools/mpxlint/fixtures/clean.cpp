@@ -1,0 +1,89 @@
+// mpxlint fixture: control file — correct code, zero findings expected.
+// Exercises the same shapes the seeded fixtures break: ordered lock
+// nesting, mc:: shims with PLAIN annotations, a paired release/acquire
+// protocol, a well-behaved progress source, and full GUARDED_BY coverage.
+
+#define MPX_GUARDED_BY(x)
+#define MPX_MC_PLAIN_WRITE(p, what)
+#define MPX_MC_PLAIN_READ(p, what)
+
+namespace fix {
+
+enum class LockRank { none = 0, vci = 100, transport = 400 };
+
+constexpr int memory_order_relaxed = 0;
+constexpr int memory_order_acquire = 2;
+constexpr int memory_order_release = 3;
+
+namespace mc {
+template <class T>
+struct atomic {
+  void store(T, int);
+  T load(int) const;
+};
+}  // namespace mc
+
+struct InstrumentedMutex {
+  void lock();
+  void unlock();
+};
+
+struct Spinlock {
+  void lock();
+  void unlock();
+};
+
+template <class Mutex>
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct Vci {
+  InstrumentedMutex mu{"fix:vci", LockRank::vci};
+  int posted MPX_GUARDED_BY(mu) = 0;
+};
+
+struct Endpoint {
+  Spinlock mu{"fix:pending", LockRank::transport};
+  int queued MPX_GUARDED_BY(mu) = 0;
+  mc::atomic<bool> ready{false};
+  int cell = 0;  // mpxlint: allow(tsa-ratchet) published via the ready edge
+};
+
+// vci (100) held while taking transport (400): declared order, fine.
+void ordered(Vci& v, Endpoint& ep) {
+  LockGuard g(v.mu);
+  v.posted += 1;
+  LockGuard h(ep.mu);
+  ep.queued += 1;
+}
+
+void publish(Endpoint& ep) {
+  MPX_MC_PLAIN_WRITE(&ep.cell, "fixture cell");
+  ep.cell = 7;
+  ep.ready.store(true, memory_order_release);
+}
+
+bool consume(Endpoint& ep) {
+  if (!ep.ready.load(memory_order_acquire)) return false;
+  MPX_MC_PLAIN_READ(&ep.cell, "fixture cell");
+  return ep.cell == 7;
+}
+
+struct ProgressSource {
+  virtual bool idle(Vci& v) = 0;
+  virtual void poll(Vci& v, int* made) = 0;
+};
+
+struct GoodSource final : ProgressSource {
+  Endpoint ep;
+  bool idle(Vci&) override { return true; }
+  void poll(Vci&, int* made) override {
+    // Transport-ranked locks are fine inside progress.
+    LockGuard g(ep.mu);
+    *made += ep.queued;
+    ep.queued = 0;
+  }
+};
+
+}  // namespace fix

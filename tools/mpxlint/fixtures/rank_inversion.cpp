@@ -1,0 +1,37 @@
+// mpxlint fixture: seeded lock-rank inversion.
+// A transport_channel-ranked lock is held while acquiring a vci-ranked
+// lock — the reverse of the declared order. Expected finding: lock-rank.
+
+namespace fix {
+
+enum class LockRank { none = 0, vci = 100, transport_channel = 410 };
+
+struct InstrumentedMutex {
+  void lock();
+  void unlock();
+};
+
+struct Spinlock {
+  void lock();
+  void unlock();
+};
+
+template <class Mutex>
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct Vci {
+  InstrumentedMutex mu{"vci", LockRank::vci};
+};
+
+struct Channel {
+  Spinlock mu{"fix:channel", LockRank::transport_channel};
+};
+
+void drain(Channel& ch, Vci& v) {
+  LockGuard g(ch.mu);   // rank 410 held...
+  LockGuard h(v.mu);    // ...while acquiring rank 100: inversion
+}
+
+}  // namespace fix

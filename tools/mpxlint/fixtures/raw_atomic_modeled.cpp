@@ -1,0 +1,24 @@
+// mpxlint fixture: raw std:: primitives in modeled protocol code.
+// The fixture path is registered in the modeled set by the self-test; a
+// std::atomic member and a std::mutex member must both be flagged
+// (mc::atomic / mc::mutex are invisible-to-model-checker otherwise).
+// Expected findings: mc-coverage (decl rule), twice.
+
+namespace std {
+template <class T>
+struct atomic {
+  T load() const;
+  void store(T);
+};
+struct mutex {};
+}  // namespace std
+
+namespace fix {
+
+struct Ring {
+  std::atomic<unsigned> head{0};  // raw atomic in modeled file: finding
+  std::mutex m;                   // raw mutex in modeled file: finding
+  unsigned cells = 0;
+};
+
+}  // namespace fix

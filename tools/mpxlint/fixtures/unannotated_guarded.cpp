@@ -1,0 +1,24 @@
+// mpxlint fixture: mutex-owning class with an unannotated data member.
+// `pending` carries MPX_GUARDED_BY; `dropped` does not and is neither
+// exempted nor allow-annotated. Expected finding: tsa-ratchet, exactly
+// one (for `dropped`).
+
+#define MPX_GUARDED_BY(x)
+
+namespace fix {
+
+enum class LockRank { none = 0, vci = 100 };
+
+struct InstrumentedMutex {
+  void lock();
+  void unlock();
+};
+
+struct Tracker {
+  InstrumentedMutex mu{"fix:tracker", LockRank::vci};
+  int pending MPX_GUARDED_BY(mu) = 0;
+  int dropped = 0;  // missing MPX_GUARDED_BY: finding
+  int generation = 0;  // mpxlint: allow(tsa-ratchet) immutable after init
+};
+
+}  // namespace fix

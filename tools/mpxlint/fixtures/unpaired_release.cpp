@@ -1,0 +1,33 @@
+// mpxlint fixture: release store with no acquire-side reader.
+// `ready` is published with a release store, but the only load anywhere
+// is relaxed — nothing orders a reader after the publish.
+// Expected finding: memory-order (unpaired-release).
+
+namespace fix {
+
+namespace mc {
+template <class T>
+struct atomic {
+  void store(T, int);
+  T load(int) const;
+};
+}  // namespace mc
+
+constexpr int memory_order_relaxed = 0;
+constexpr int memory_order_release = 3;
+
+struct Publisher {
+  mc::atomic<bool> ready{false};
+  int payload = 0;
+
+  void publish() {
+    payload = 42;
+    ready.store(true, memory_order_release);  // no acquire load anywhere
+  }
+
+  bool peek() const {
+    return ready.load(memory_order_relaxed);  // relaxed: does not pair
+  }
+};
+
+}  // namespace fix

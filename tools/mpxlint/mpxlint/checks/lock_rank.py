@@ -1,0 +1,149 @@
+"""lock-rank: static lock-order validation against LockRank declarations.
+
+Builds the held-while-acquiring graph from every function body:
+
+  * a guard (LockGuard/TryLockGuard/std guards) or manual .lock() whose
+    scope contains another acquisition adds a direct edge held -> new;
+  * a call made while a ranked lock is held adds edges from the held rank
+    to every rank the callee may transitively acquire. Callees resolve
+    through receiver types (same conservative-quiet rules as the
+    progress-contract walk): a member call whose receiver class is
+    unknown propagates nothing, so generic names like `empty`/`front`
+    never inherit ranks from unrelated classes.
+
+A direct edge to a rank <= the held rank is a violation (the runtime
+validator would abort there) unless both sites are the same lock
+expression (recursive re-acquire, which InstrumentedMutex permits). For
+call-propagated edges only strictly-lower ranks are flagged: equal rank
+through a call is how recursive re-entry of the same lock looks from the
+outside, and the static pass cannot prove object identity. The rank graph
+is finally checked to be a DAG consistent with the declared order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .. import config
+from ..report import Finding
+from .progress_contract import _resolve_callees
+
+CHECK_ID = "lock-rank"
+
+
+def _rank_val(name: str) -> int:
+    return config.LOCK_RANKS.get(name, -1)
+
+
+def _transitive_ranks(ctx) -> Dict[int, Set[str]]:
+    """Fixpoint: id(fn) -> ranks it may (transitively) acquire.
+
+    Runs over the receiver-resolved call graph; unresolvable member calls
+    propagate nothing, and unranked acquisitions don't propagate (exempt
+    by design)."""
+    fns = [fn for fn in ctx.model.functions
+           if not ctx.in_fileset(fn.file, config.LOCK_IMPL_FILES)]
+    ids = {id(f) for f in fns}
+    result = {id(f): {a.rank for a in f.acquires if a.rank} for f in fns}
+    edges: Dict[int, Set[int]] = {id(f): set() for f in fns}
+    for f in fns:
+        for call in f.calls:
+            for callee in _resolve_callees(ctx, f, call):
+                if id(callee) in ids:
+                    edges[id(f)].add(id(callee))
+    changed = True
+    while changed:
+        changed = False
+        for k, es in edges.items():
+            for e in es:
+                if not result[e] <= result[k]:
+                    result[k] |= result[e]
+                    changed = True
+    return result
+
+
+def run(ctx) -> List[Finding]:
+    model = ctx.model
+    findings: List[Finding] = []
+    edges: Set[Tuple[str, str]] = set()
+    trans_ranks = _transitive_ranks(ctx)
+
+    for fn in model.functions:
+        if ctx.in_fileset(fn.file, config.LOCK_IMPL_FILES):
+            continue
+        ranked = [a for a in fn.acquires if a.rank]
+        # Direct nesting: acquire B inside the line range of acquire A.
+        for a in ranked:
+            for b in ranked:
+                if a is b or not (a.line < b.line <= (a.end_line or 0)):
+                    continue
+                edges.add((a.rank, b.rank))
+                if _rank_val(b.rank) > _rank_val(a.rank):
+                    continue
+                if a.expr == b.expr or a.resolved == b.resolved and \
+                        a.resolved is not None and b.rank == a.rank:
+                    continue  # recursive re-acquire of the same lock
+                if ctx.allowed(fn.file, b.line, CHECK_ID) or \
+                        CHECK_ID in fn.allow:
+                    continue
+                findings.append(Finding(
+                    check=CHECK_ID, file=fn.file, line=b.line,
+                    message=(f"acquires '{b.expr}' (rank {b.rank}="
+                             f"{_rank_val(b.rank)}) while holding "
+                             f"'{a.expr}' (rank {a.rank}="
+                             f"{_rank_val(a.rank)}): lock-rank inversion"),
+                    key=(f"{CHECK_ID}:{fn.file}:{fn.name}:"
+                         f"{a.expr}->{b.expr}")))
+        # Call-propagated: callee may acquire a strictly lower rank while
+        # we hold one.
+        for call in fn.calls:
+            if not call.held_ranks:
+                continue
+            cranks: Set[str] = set()
+            for callee in _resolve_callees(ctx, fn, call):
+                cranks |= trans_ranks.get(id(callee), set())
+            for crank in cranks:
+                for held in call.held_ranks:
+                    edges.add((held, crank))
+                    if _rank_val(crank) >= _rank_val(held):
+                        continue
+                    if ctx.allowed(fn.file, call.line, CHECK_ID) or \
+                            CHECK_ID in fn.allow:
+                        continue
+                    findings.append(Finding(
+                        check=CHECK_ID, file=fn.file, line=call.line,
+                        message=(f"call to '{call.name}' may acquire a "
+                                 f"{crank}-ranked lock while a {held}-"
+                                 f"ranked lock is held: lock-rank "
+                                 f"inversion via call chain"),
+                        key=(f"{CHECK_ID}:{fn.file}:{fn.name}:"
+                             f"call:{call.name}:{held}->{crank}")))
+
+    # Declared-order consistency: the observed edge set must be acyclic
+    # when collapsed to ranks (any cycle means the declared ranks cannot
+    # order the real acquisition graph).
+    adj: Dict[str, Set[str]] = {}
+    for u, v in edges:
+        if u != v:
+            adj.setdefault(u, set()).add(v)
+    state: Dict[str, int] = {}
+
+    def has_cycle(u: str, path: List[str]) -> bool:
+        state[u] = 1
+        for v in adj.get(u, ()):
+            if state.get(v, 0) == 1:
+                findings.append(Finding(
+                    check=CHECK_ID, file="<rank-graph>", line=0,
+                    message=("cycle in the held-while-acquiring rank "
+                             f"graph: {' -> '.join(path + [v])}"),
+                    key=f"{CHECK_ID}:cycle:{'->'.join(sorted(set(path)))}"))
+                return True
+            if state.get(v, 0) == 0 and has_cycle(v, path + [v]):
+                return True
+        state[u] = 2
+        return False
+
+    for node in list(adj):
+        if state.get(node, 0) == 0:
+            has_cycle(node, [node])
+    return findings

@@ -1,0 +1,103 @@
+"""mc-coverage: modeled protocol files must be visible to mpx::mc.
+
+Two rules over the MODELED_FILES set (the code whose interleavings the
+model-check preset explores):
+
+  decl rule   — a member declared as a raw std:: synchronization primitive
+                (std::atomic, std::mutex, std::condition_variable) is
+                invisible to the scheduler's vector clocks: finding,
+                unless carrying `// mpxlint: allow(mc-coverage) <reason>`.
+
+  plain rule  — a function that performs an acquire/release mc-atomic
+                operation AND writes a plain shared member must carry at
+                least one MPX_MC_PLAIN_WRITE/READ annotation, otherwise
+                the plain data rides the atomic edge unchecked and a
+                protocol weakening would not surface as a detected race.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .. import config
+from ..model import CONDVAR, MC_ATOMIC, PLAIN, RAW_ATOMIC, RAW_MUTEX
+from ..report import Finding
+
+CHECK_ID = "mc-coverage"
+
+_PUBLISH_ORDERS = {"release", "acquire", "acq_rel", "seq_cst"}
+
+
+def run(ctx) -> List[Finding]:
+    model = ctx.model
+    findings: List[Finding] = []
+
+    # decl rule ------------------------------------------------------------
+    for cm in model.classes.values():
+        if not ctx.in_fileset(cm.file, config.MODELED_FILES):
+            continue
+        if ctx.in_fileset(cm.file, config.MC_SHIM_FILES):
+            continue
+        for f in cm.fields.values():
+            if f.kind not in (RAW_ATOMIC, RAW_MUTEX, CONDVAR):
+                continue
+            if CHECK_ID in f.allow or ctx.allowed(cm.file, f.line, CHECK_ID):
+                continue
+            kind_desc = {
+                RAW_ATOMIC: "std::atomic",
+                RAW_MUTEX: "a raw std:: mutex",
+                CONDVAR: "std::condition_variable",
+            }[f.kind]
+            findings.append(Finding(
+                check=CHECK_ID, file=cm.file, line=f.line,
+                message=(f"{cm.name}::{f.name} is {kind_desc} in a modeled "
+                         "protocol file; use the mc:: shim (mc::atomic/"
+                         "mc::mutex) so the model checker can see it, or "
+                         "annotate `// mpxlint: allow(mc-coverage)` with "
+                         "a reason"),
+                key=f"{CHECK_ID}:decl:{cm.name}::{f.name}"))
+
+    # plain rule -----------------------------------------------------------
+    for fn in model.functions:
+        if not ctx.in_fileset(fn.file, config.MODELED_FILES):
+            continue
+        if ctx.in_fileset(fn.file, config.MC_SHIM_FILES):
+            continue
+        if fn.has_mc_plain_annotation or CHECK_ID in fn.allow:
+            continue
+        publishes = any(
+            op.orders & _PUBLISH_ORDERS
+            for op in fn.atomic_ops
+            if op.cls and _field_kind(model, op.cls, op.member) == MC_ATOMIC)
+        if not publishes:
+            continue
+        shared_writes = [
+            w for w in fn.plain_writes
+            if w.cls and _field_kind(model, w.cls, w.member) == PLAIN
+            and not _field_allowed(model, w.cls, w.member, CHECK_ID)]
+        if not shared_writes:
+            continue
+        if ctx.allowed(fn.file, fn.line, CHECK_ID):
+            continue
+        w = shared_writes[0]
+        findings.append(Finding(
+            check=CHECK_ID, file=fn.file, line=w.line,
+            message=(f"{fn.name} writes plain shared member "
+                     f"'{w.cls}::{w.member}' and performs release/acquire "
+                     "mc-atomic operations, but has no MPX_MC_PLAIN_WRITE/"
+                     "READ annotation: the model checker cannot race-check "
+                     "the plain data riding this edge"),
+            key=f"{CHECK_ID}:plain:{fn.cls or ''}::{fn.name}"))
+    return findings
+
+
+def _field_kind(model, cls, member):
+    c = model.classes.get(cls)
+    f = c.field(member) if c else None
+    return f.kind if f else None
+
+
+def _field_allowed(model, cls, member, check_id) -> bool:
+    c = model.classes.get(cls)
+    f = c.field(member) if c else None
+    return bool(f and (check_id in f.allow or f.is_const or f.is_static))

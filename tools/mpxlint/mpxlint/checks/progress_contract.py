@@ -1,0 +1,109 @@
+"""progress-contract: poll/idle must never block or re-enter progress.
+
+Roots are the poll/idle overrides of ProgressSource subclasses. From each
+root the check walks the in-tree call graph (name-level; member calls
+resolve through receiver types, virtual calls expand to every in-model
+override in derived classes) and flags:
+
+  * any reachable call to a blocking wait (config.BLOCKING_CALL_NAMES) —
+    poll() runs inside progress; waiting inside progress is the paper's
+    §3.4 deadlock;
+  * any reachable acquisition of a lock ranked in
+    config.PROGRESS_FORBIDDEN_RANKS (`vci`, `stream`): poll/idle already
+    run under a vci-ranked lock, so taking another progress-engine lock
+    re-enters the engine.
+
+Calls through std::function / stored hooks are invisible to the static
+pass (documented limitation; the mc progress tests cover those).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .. import config
+from ..model import Function
+from ..report import Finding
+
+CHECK_ID = "progress-contract"
+
+
+def _progress_roots(ctx) -> List[Function]:
+    model = ctx.model
+    source_classes = {c.name for c in
+                      model.derived_of(config.PROGRESS_SOURCE_BASE)}
+    return [fn for fn in model.functions
+            if fn.cls in source_classes and fn.name in ("poll", "idle")]
+
+
+def _resolve_callees(ctx, caller: Function, call) -> List[Function]:
+    """All in-model functions a call may dispatch to.
+
+    Resolution is deliberately conservative-quiet: a member call whose
+    receiver class cannot be determined resolves to nothing rather than
+    to every same-named method in the model (which would drown the check
+    in false paths through generic names like `poll`/`push`)."""
+    model = ctx.model
+    if call.recv_cls is not None:
+        out: List[Function] = []
+        classes = {call.recv_cls}
+        classes.update(c.name for c in model.derived_of(call.recv_cls))
+        for cls in classes:
+            out.extend(model.methods_of(cls, call.name))
+        return out
+    # Free/unqualified call: free functions + methods of the caller's own
+    # class (implicit this->).
+    return [f for f in model.functions_named(call.name)
+            if f.cls is None or (caller.cls and f.cls == caller.cls)]
+
+
+def run(ctx) -> List[Finding]:
+    findings: List[Finding] = []
+    roots = _progress_roots(ctx)
+    for root in roots:
+        seen: Set[str] = set()
+        # (function, path-so-far)
+        stack: List[Tuple[Function, List[str]]] = [(root, [])]
+        while stack:
+            fn, path = stack.pop()
+            if fn.key in seen:
+                continue
+            seen.add(fn.key)
+            label = f"{fn.cls + '::' if fn.cls else ''}{fn.name}"
+            here = path + [label]
+            if CHECK_ID in fn.allow:
+                continue
+            for a in fn.acquires:
+                if a.rank in config.PROGRESS_FORBIDDEN_RANKS and \
+                        not ctx.allowed(fn.file, a.line, CHECK_ID):
+                    findings.append(Finding(
+                        check=CHECK_ID, file=fn.file, line=a.line,
+                        message=(f"{_root_label(root)} reaches an "
+                                 f"acquisition of '{a.expr}' (rank "
+                                 f"{a.rank}) via "
+                                 f"{' -> '.join(here)}: progress sources "
+                                 "run under the VCI lock and must not "
+                                 "re-enter progress-engine locks"),
+                        key=(f"{CHECK_ID}:rank:{_root_label(root)}:"
+                             f"{label}:{a.expr}")))
+            for call in fn.calls:
+                if call.name in config.BLOCKING_CALL_NAMES:
+                    if not ctx.allowed(fn.file, call.line, CHECK_ID):
+                        findings.append(Finding(
+                            check=CHECK_ID, file=fn.file, line=call.line,
+                            message=(f"{_root_label(root)} reaches "
+                                     f"blocking call '{call.name}' via "
+                                     f"{' -> '.join(here)}: waiting "
+                                     "inside progress deadlocks "
+                                     "(paper §3.4)"),
+                            key=(f"{CHECK_ID}:block:{_root_label(root)}:"
+                                 f"{label}:{call.name}")))
+                    continue
+                for callee in _resolve_callees(ctx, fn, call):
+                    if callee.key not in seen:
+                        stack.append((callee, here))
+    return findings
+
+
+def _root_label(root: Function) -> str:
+    return f"{root.cls}::{root.name}"

@@ -1,0 +1,68 @@
+"""tsa-ratchet: MPX_GUARDED_BY coverage must not regress.
+
+For every class owning an annotated-capability lock (InstrumentedMutex /
+Spinlock), every plain data member is a candidate that should carry
+MPX_GUARDED_BY / MPX_PT_GUARDED_BY. Not candidates: the locks themselves,
+atomics (they synchronize themselves), condition variables, internally
+synchronized types (config.INTERNALLY_SYNCED_TYPES), static/constexpr
+members, and fields with an inline `// mpxlint: allow(tsa-ratchet)`
+(immutable-after-init fields, consumer-serialized state, ...).
+
+Every uncovered candidate is a finding unless listed in the checked-in
+exemption file (tools/mpxlint/tsa_baseline.json) — so coverage can only
+ratchet up: new guarded fields must be annotated or explicitly exempted
+with a reason.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .. import config
+from ..model import (ATOMIC_KINDS, CAPABILITY_LOCK_KINDS, CONDVAR,
+                     LOCK_KINDS, PLAIN)
+from ..report import Finding
+
+CHECK_ID = "tsa-ratchet"
+
+
+def run(ctx) -> List[Finding]:
+    model = ctx.model
+    exempt = set(ctx.tsa_baseline.get("exempt", []))
+    findings: List[Finding] = []
+    total = annotated = 0
+    for cm in sorted(model.classes.values(), key=lambda c: c.name):
+        # A lock *pointer* is not an owned capability — borrowing a lock
+        # (CopyOp::counter_mu) doesn't make the class's fields candidates.
+        locks = [f for f in cm.fields.values()
+                 if f.kind in CAPABILITY_LOCK_KINDS
+                 and "*" not in f.type_text and "&" not in f.type_text]
+        if not locks:
+            continue
+        for f in cm.fields.values():
+            if f.kind in LOCK_KINDS or f.kind in ATOMIC_KINDS or \
+                    f.kind == CONDVAR:
+                continue
+            if f.is_static or f.is_const:
+                continue
+            if any(t in f.type_text for t in
+                   config.INTERNALLY_SYNCED_TYPES):
+                continue
+            if CHECK_ID in f.allow or ctx.allowed(cm.file, f.line, CHECK_ID):
+                continue
+            total += 1
+            if f.guarded_by or f.pt_guarded_by:
+                annotated += 1
+                continue
+            key = f"{CHECK_ID}:{cm.name}::{f.name}"
+            if f"{cm.name}::{f.name}" in exempt:
+                continue
+            findings.append(Finding(
+                check=CHECK_ID, file=cm.file, line=f.line,
+                message=(f"{cm.name} owns a capability lock but field "
+                         f"'{f.name}' has no MPX_GUARDED_BY/"
+                         "MPX_PT_GUARDED_BY; annotate it, mark it "
+                         "`// mpxlint: allow(tsa-ratchet) <why>`, or add "
+                         "it to tsa_baseline.json with a reason"),
+                key=key))
+    return findings

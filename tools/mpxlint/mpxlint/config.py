@@ -1,0 +1,113 @@
+"""Repo-specific configuration for mpxlint checks.
+
+Everything a check needs to know about this codebase's conventions lives
+here — modeled-file sets, the lock-rank table, deny-lists — so the engines
+and checks stay generic."""
+
+from __future__ import annotations
+
+# Declared lock ranks, mirroring include/mpx/base/lock_rank.hpp. A thread
+# may only acquire locks of strictly increasing rank; `none` is exempt.
+LOCK_RANKS = {
+    "none": 0,
+    "vci": 100,
+    "stream": 200,
+    "task_queue": 300,
+    "transport": 400,
+    "transport_channel": 410,
+}
+
+# Files whose lock-acquisition sites are the lock *implementations*, not
+# users — their internal lock()/unlock() bodies are not acquisition edges.
+LOCK_IMPL_FILES = (
+    "include/mpx/base/instrumented_mutex.hpp",
+    "include/mpx/base/spinlock.hpp",
+    "include/mpx/base/thread_safety.hpp",
+    "include/mpx/base/lock_rank.hpp",
+    "src/base/lock_rank.cpp",
+    "include/mpx/mc/sync.hpp",
+    "include/mpx/mc/mc.hpp",
+    "src/mc/",
+)
+
+# The mc:: shim layer itself forwards memory orders and wraps raw atomics
+# by design — excluded from mc-coverage and memory-order member analysis.
+MC_SHIM_FILES = (
+    "include/mpx/mc/",
+    "src/mc/",
+)
+
+# Modeled protocol files (mc-coverage check): code whose interleavings the
+# mpx::mc explorer is expected to cover. Raw std:: sync primitives here are
+# invisible to the model checker and therefore findings.
+MODELED_FILES = (
+    "include/mpx/shm/shm_transport.hpp",
+    "src/shm/shm_transport.cpp",
+    "src/core/matching.hpp",
+    "include/mpx/base/spinlock.hpp",
+    "include/mpx/core/detail/request_impl.hpp",
+    "include/mpx/base/queue.hpp",
+    "include/mpx/base/instrumented_mutex.hpp",
+    "src/core/internal.hpp",
+    # Fixture self-tests exercise the modeled-file rules on these.
+    "tools/mpxlint/fixtures/",
+)
+
+# progress-contract: names that block (or re-enter the progress engine).
+# Exact function-name matches on the call graph reachable from
+# ProgressSource::poll / idle implementations.
+BLOCKING_CALL_NAMES = {
+    "wait",
+    "wait_all",
+    "wait_any",
+    "wait_on_stream",
+    "progress_until",
+    "progress_test",
+    "stream_progress",
+}
+
+# progress-contract: lock ranks a progress source must never (transitively)
+# acquire. poll()/idle() already run under a `vci`-ranked lock; reaching
+# another vci/stream acquisition re-enters the progress engine — the
+# paper's progress-reentrancy deadlock (§3.4).
+PROGRESS_FORBIDDEN_RANKS = {"vci", "stream"}
+
+# Base class whose poll/idle overrides are progress-contract roots.
+PROGRESS_SOURCE_BASE = "ProgressSource"
+
+# tsa-ratchet: member types that are internally synchronized — not
+# candidates for MPX_GUARDED_BY even inside a mutex-owning class.
+INTERNALLY_SYNCED_TYPES = (
+    "MpscQueue",
+    "SpscRing",
+    "ProgressRegistry",
+    "LockRank",
+    "Coordinator",
+)
+
+# Return types of well-known accessor helpers, used by the textual engine
+# to type `auto&` locals (e.g. `auto& ch = chan(rank, vci);`).
+ACCESSOR_RETURN_TYPES = {
+    "chan": "Channel",
+    "channel": "Channel",
+    "chan_of": "Channel",
+    "ep": "Endpoint",
+    "ep_of": "Endpoint",
+    "endpoint": "Endpoint",
+}
+
+# check_atomics.py compatibility: ops that take a trailing memory-order
+# argument, and the annotation that opts a deliberate seq_cst site out.
+ATOMIC_ORDER_METHODS = (
+    "load", "store", "exchange",
+    "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "compare_exchange_weak", "compare_exchange_strong",
+    "test_and_set",
+)
+SEQ_CST_INTENTIONAL_RE = r"mo:\s*seq_cst\s+intentional"
+
+# Inline suppression comment:  // mpxlint: allow(check-id) reason
+ALLOW_RE = r"mpxlint:\s*allow\(([a-z0-9_,\- ]+)\)"
+
+# File extensions scanned.
+SOURCE_EXTS = (".hpp", ".h", ".cpp", ".cc", ".cxx")

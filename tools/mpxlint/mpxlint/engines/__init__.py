@@ -1,0 +1,40 @@
+"""Engine selection: clang.cindex when importable + loadable, else textual.
+
+Both engines return the same CodeModel; checks never know which ran."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+def build_model(files: List[str], repo_root: str,
+                engine: str = "auto",
+                compile_commands: Optional[str] = None):
+    """Build a CodeModel from `files` with the requested engine.
+
+    engine: "auto" | "clang" | "textual". "auto" prefers clang when the
+    Python bindings and a loadable libclang exist, and degrades to the
+    textual engine with a note otherwise. A clang engine that fails part
+    way (bad compile commands, parse crash) also falls back.
+    """
+    notes: List[str] = []
+    if engine in ("auto", "clang"):
+        try:
+            from . import clang_engine
+            if clang_engine.available():
+                model = clang_engine.build(files, repo_root, compile_commands)
+                model.engine = "clang"
+                model.diagnostics = notes + model.diagnostics
+                return model
+            notes.append("libclang not available; using textual engine "
+                         "(CI installs libclang for the AST engine)")
+        except Exception as exc:  # pragma: no cover - defensive
+            notes.append(f"clang engine failed ({exc!r}); "
+                         "falling back to textual engine")
+        if engine == "clang":
+            notes.append("engine=clang was requested but is unavailable")
+    from . import textual
+    model = textual.build(files, repo_root)
+    model.engine = "textual"
+    model.diagnostics = notes + model.diagnostics
+    return model

@@ -1,0 +1,365 @@
+"""libclang (clang.cindex) engine.
+
+Builds the same CodeModel as the textual engine, but from real ASTs driven
+by compile_commands.json. Headers are modeled through the TUs that include
+them. Written defensively: any import/load/parse failure makes
+`available()` return False or raises, and the caller falls back to the
+textual engine — this repo's CI installs libclang; developer machines may
+not have it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Set
+
+from .. import config
+from ..model import (CodeModel, ClassModel, Acquire, AtomicOp, Call, Field,
+                     Function, PlainMemberWrite)
+from .textual import (classify_type, strip_noncode, _allow_tags,
+                      _seqcst_annotated, RANK_RE, GUARDED_BY_RE,
+                      PT_GUARDED_BY_RE)
+
+_index = None
+
+
+def available() -> bool:
+    global _index
+    try:
+        from clang import cindex
+    except ImportError:
+        return False
+    try:
+        _index = cindex.Index.create()
+        return True
+    except Exception:
+        for cand in ("libclang.so", "libclang-14.so", "libclang.so.1",
+                     "libclang-15.so", "libclang-16.so"):
+            try:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(cand)
+                _index = cindex.Index.create()
+                return True
+            except Exception:
+                continue
+    return False
+
+
+_ATOMIC_METHODS = set(config.ATOMIC_ORDER_METHODS)
+_GUARD_TYPES = ("LockGuard", "TryLockGuard", "lock_guard", "unique_lock",
+                "scoped_lock", "shared_lock")
+_ORDER_MAP = {
+    "memory_order_relaxed": "relaxed", "memory_order_consume": "consume",
+    "memory_order_acquire": "acquire", "memory_order_release": "release",
+    "memory_order_acq_rel": "acq_rel", "memory_order_seq_cst": "seq_cst",
+}
+
+
+def _short(name: str) -> str:
+    return name.split("::")[-1].split("<")[0].strip()
+
+
+class _Builder:
+    def __init__(self, model: CodeModel, repo_root: str):
+        self.model = model
+        self.root = repo_root
+        self.comments: Dict[str, Dict[int, str]] = {}
+        self.seen_fn_keys: Set[str] = set()
+
+    def comments_for(self, rel: str) -> Dict[int, str]:
+        if rel not in self.comments:
+            try:
+                with open(os.path.join(self.root, rel),
+                          encoding="utf-8", errors="replace") as f:
+                    _, cm = strip_noncode(f.read())
+                self.comments[rel] = cm
+            except OSError:
+                self.comments[rel] = {}
+        return self.comments[rel]
+
+    def rel_of(self, cursor) -> Optional[str]:
+        loc = cursor.location
+        if loc.file is None:
+            return None
+        path = os.path.realpath(loc.file.name)
+        root = os.path.realpath(self.root)
+        if not path.startswith(root + os.sep):
+            return None
+        return os.path.relpath(path, root)
+
+    # ------------------------------------------------------------------
+    def visit_tu(self, tu) -> None:
+        from clang.cindex import CursorKind
+        stack = [tu.cursor]
+        while stack:
+            cur = stack.pop()
+            for child in cur.get_children():
+                rel = self.rel_of(child)
+                if rel is None:
+                    continue
+                k = child.kind
+                if k in (CursorKind.CLASS_DECL, CursorKind.STRUCT_DECL,
+                         CursorKind.CLASS_TEMPLATE):
+                    if child.is_definition():
+                        self.visit_class(child, rel)
+                    stack.append(child)
+                elif k in (CursorKind.CXX_METHOD, CursorKind.FUNCTION_DECL,
+                           CursorKind.CONSTRUCTOR, CursorKind.DESTRUCTOR,
+                           CursorKind.FUNCTION_TEMPLATE):
+                    if child.is_definition():
+                        self.visit_function(child, rel)
+                    stack.append(child)
+                elif k in (CursorKind.NAMESPACE,
+                           CursorKind.UNEXPOSED_DECL,
+                           CursorKind.LINKAGE_SPEC):
+                    stack.append(child)
+
+    def visit_class(self, cursor, rel: str) -> None:
+        from clang.cindex import CursorKind
+        name = _short(cursor.spelling or "")
+        if not name:
+            return
+        cm = self.model.classes.get(name)
+        if cm is None:
+            cm = ClassModel(name=name, file=rel,
+                            line=cursor.location.line)
+            self.model.classes[name] = cm
+        comments = self.comments_for(rel)
+        for child in cursor.get_children():
+            if child.kind == CursorKind.CXX_BASE_SPECIFIER:
+                b = _short(child.type.spelling)
+                if b and b not in cm.bases:
+                    cm.bases.append(b)
+            elif child.kind == CursorKind.FIELD_DECL:
+                line = child.location.line
+                type_text = child.type.spelling
+                ext = self._extent_text(child)
+                gm = GUARDED_BY_RE.search(ext)
+                pm = PT_GUARDED_BY_RE.search(ext)
+                rm = RANK_RE.search(ext)
+                f = Field(
+                    name=child.spelling, type_text=type_text, line=line,
+                    kind=classify_type(type_text),
+                    guarded_by=gm.group(1) if gm else None,
+                    pt_guarded_by=pm.group(1) if pm else None,
+                    rank=rm.group(1) if rm else None,
+                    is_const="const" in type_text,
+                    allow=_allow_tags(comments, line))
+                cm.fields.setdefault(child.spelling, f)
+
+    def _extent_text(self, cursor) -> str:
+        try:
+            toks = [t.spelling for t in cursor.get_tokens()]
+            return " ".join(toks)
+        except Exception:
+            return ""
+
+    # ------------------------------------------------------------------
+    def visit_function(self, cursor, rel: str) -> None:
+        from clang.cindex import CursorKind
+        sem = cursor.semantic_parent
+        cls = None
+        if sem is not None and sem.kind in (CursorKind.CLASS_DECL,
+                                            CursorKind.STRUCT_DECL,
+                                            CursorKind.CLASS_TEMPLATE):
+            cls = _short(sem.spelling)
+        line = cursor.location.line
+        key = f"{rel}:{line}:{cls}:{cursor.spelling}"
+        if key in self.seen_fn_keys:
+            return
+        self.seen_fn_keys.add(key)
+        comments = self.comments_for(rel)
+        fn = Function(name=cursor.spelling, file=rel, line=line, cls=cls,
+                      is_override=any(
+                          c.kind == CursorKind.CXX_OVERRIDE_ATTR
+                          for c in cursor.get_children()),
+                      allow=_allow_tags(comments, line))
+        self.model.functions.append(fn)
+        self._walk_body(cursor, fn, comments)
+
+    def _walk_body(self, cursor, fn: Function, comments) -> None:
+        from clang.cindex import CursorKind
+        guard_stack: List[Acquire] = []
+
+        def expr_text(c) -> str:
+            return self._extent_text(c).replace(" ", "")
+
+        def recv_class(c) -> Optional[str]:
+            try:
+                t = c.type
+                if t is None:
+                    return None
+                s = t.spelling
+                s = s.replace("const", "").replace("&", "")
+                s = s.replace("*", "").strip()
+                return _short(s) or None
+            except Exception:
+                return None
+
+        def walk(c, depth: int):
+            for child in c.get_children():
+                k = child.kind
+                cline = child.location.line
+                if k == CursorKind.VAR_DECL:
+                    tname = _short(child.type.spelling)
+                    if tname in _GUARD_TYPES:
+                        args = list(child.get_children())
+                        lock_expr = ""
+                        for a in args:
+                            if a.kind in (CursorKind.UNEXPOSED_EXPR,
+                                          CursorKind.CALL_EXPR,
+                                          CursorKind.MEMBER_REF_EXPR,
+                                          CursorKind.DECL_REF_EXPR):
+                                lock_expr = expr_text(a)
+                                break
+                        acq = Acquire(line=cline, expr=lock_expr,
+                                      depth=depth,
+                                      kind="try_guard"
+                                      if tname == "TryLockGuard"
+                                      else "guard")
+                        self._resolve_acquire(acq, child)
+                        fn.acquires.append(acq)
+                        guard_stack.append(acq)
+                elif k == CursorKind.CALL_EXPR:
+                    self._call_expr(child, fn, guard_stack, comments)
+                elif k in (CursorKind.BINARY_OPERATOR,
+                           CursorKind.COMPOUND_ASSIGNMENT_OPERATOR):
+                    self._maybe_plain_write(child, fn)
+                if "MPX_MC_PLAIN" in self._extent_text(child)[:4096]:
+                    fn.has_mc_plain_annotation = True
+                walk(child, depth + 1)
+                if k == CursorKind.COMPOUND_STMT:
+                    end = child.extent.end.line
+                    while guard_stack and guard_stack[-1].depth > depth:
+                        guard_stack.pop().end_line = end
+
+        walk(cursor, 0)
+        end = cursor.extent.end.line
+        for a in fn.acquires:
+            if not a.end_line:
+                a.end_line = end
+
+    def _resolve_acquire(self, acq: Acquire, cursor) -> None:
+        # Try to resolve the guarded lock to (class, field) via the last
+        # MEMBER_REF_EXPR in the initializer.
+        from clang.cindex import CursorKind
+        target = None
+        stack = [cursor]
+        while stack:
+            c = stack.pop()
+            for ch in c.get_children():
+                if ch.kind == CursorKind.MEMBER_REF_EXPR:
+                    target = ch
+                stack.append(ch)
+        if target is None:
+            return
+        field = target.spelling
+        ref = target.referenced
+        cls = None
+        if ref is not None and ref.semantic_parent is not None:
+            cls = _short(ref.semantic_parent.spelling)
+        if cls and field:
+            acq.resolved = (cls, field)
+            acq.rank = self.model.lock_rank_of(cls, field)
+
+    def _call_expr(self, cursor, fn: Function, guard_stack, comments):
+        from clang.cindex import CursorKind
+        name = cursor.spelling or ""
+        if not name:
+            return
+        held = {a.rank for a in guard_stack if a.rank}
+        held_exprs = {a.expr for a in guard_stack}
+        if name in _ATOMIC_METHODS:
+            member, cls = "", None
+            for ch in cursor.get_children():
+                if ch.kind == CursorKind.MEMBER_REF_EXPR:
+                    member = ch.spelling
+                    obj = list(ch.get_children())
+                    if obj:
+                        ref = None
+                        if ch.referenced is not None:
+                            ref = ch.referenced.semantic_parent
+                        if ref is not None:
+                            cls = _short(ref.spelling)
+                    break
+            orders: Set[str] = set()
+            text = self._extent_text(cursor)
+            for tok, o in _ORDER_MAP.items():
+                if tok in text.replace("::", "_"):
+                    orders.add(o)
+            if not orders and ("order" in text or "mo" in
+                               [t for t in text.split()]):
+                orders = {"forwarded"}
+            fn.atomic_ops.append(AtomicOp(
+                line=cursor.location.line, member=member or name,
+                obj_expr=member, cls=cls, op=name, orders=orders,
+                annotated_intentional=_seqcst_annotated(
+                    comments, cursor.location.line)))
+            return
+        recv = None
+        ref = cursor.referenced
+        if ref is not None and ref.semantic_parent is not None and \
+                ref.semantic_parent.kind in (CursorKind.CLASS_DECL,
+                                             CursorKind.STRUCT_DECL):
+            recv = _short(ref.semantic_parent.spelling)
+        fn.calls.append(Call(line=cursor.location.line, name=name,
+                             recv_cls=recv, held_ranks=held,
+                             held_exprs=held_exprs))
+
+    def _maybe_plain_write(self, cursor, fn: Function) -> None:
+        from clang.cindex import CursorKind
+        kids = list(cursor.get_children())
+        if not kids:
+            return
+        lhs = kids[0]
+        if lhs.kind != CursorKind.MEMBER_REF_EXPR:
+            return
+        cls = None
+        if lhs.referenced is not None and \
+                lhs.referenced.semantic_parent is not None:
+            cls = _short(lhs.referenced.semantic_parent.spelling)
+        fn.plain_writes.append(PlainMemberWrite(
+            line=cursor.location.line, member=lhs.spelling,
+            obj_expr=self._extent_text(lhs), cls=cls))
+
+
+def build(files: List[str], repo_root: str,
+          compile_commands: Optional[str]) -> CodeModel:
+    from clang import cindex
+    model = CodeModel(engine="clang")
+    builder = _Builder(model, repo_root)
+    model.files.extend(os.path.relpath(p, repo_root) for p in files)
+
+    args_by_file: Dict[str, List[str]] = {}
+    if compile_commands:
+        try:
+            db = cindex.CompilationDatabase.fromDirectory(
+                os.path.dirname(os.path.abspath(compile_commands)))
+            for p in files:
+                cmds = db.getCompileCommands(os.path.abspath(p))
+                if cmds:
+                    arglist = list(cmds[0].arguments)[1:-1]
+                    args_by_file[p] = [a for a in arglist
+                                      if a not in ("-c", "-o")]
+        except Exception as exc:
+            model.diagnostics.append(
+                f"clang engine: compile_commands unusable ({exc!r})")
+    default_args = ["-std=c++20", f"-I{repo_root}/include",
+                    f"-I{repo_root}", "-xc++"]
+    parsed = 0
+    for p in files:
+        if p.endswith((".h", ".hpp")) and args_by_file.get(p) is None:
+            args = default_args
+        else:
+            args = args_by_file.get(p, default_args)
+        try:
+            tu = _index.parse(p, args=args)
+            builder.visit_tu(tu)
+            parsed += 1
+        except Exception as exc:
+            model.diagnostics.append(
+                f"clang engine: failed to parse {p}: {exc!r}")
+    if parsed == 0:
+        raise RuntimeError("clang engine parsed no files")
+    model.comments = builder.comments  # type: ignore[attr-defined]
+    return model

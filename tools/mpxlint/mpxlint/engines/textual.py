@@ -1,0 +1,836 @@
+"""Textual engine: comment/string stripping + brace-context tracking.
+
+A deliberately conservative parser for the subset of C++ this repo writes
+(clang-format Google style). It is NOT a general C++ parser; its contract
+is: build the same CodeModel the clang engine would for the constructs the
+checks care about (class/field decls, lock guards, atomic member ops,
+calls, plain member writes), and record a diagnostic rather than guess
+when resolution fails.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from .. import config
+from ..model import (ATOMIC_KINDS, CONDVAR, CodeModel, ClassModel, Acquire,
+                     AtomicOp, Call, Field, Function, INST_MUTEX, MC_ATOMIC,
+                     MC_MUTEX, PLAIN, PlainMemberWrite, RAW_ATOMIC, RAW_MUTEX,
+                     SPINLOCK)
+
+# ---------------------------------------------------------------------------
+# Pass A: strip comments and strings, preserving line structure; keep the
+# comment text per line (annotations like "mpxlint: allow(...)" live there).
+# ---------------------------------------------------------------------------
+
+
+def strip_noncode(text: str) -> Tuple[List[str], Dict[int, str]]:
+    code: List[str] = []
+    comments: Dict[int, str] = {}
+    i, n = 0, len(text)
+    line = 1
+    buf: List[str] = []
+
+    def endline():
+        nonlocal line
+        code.append("".join(buf))
+        buf.clear()
+        line += 1
+
+    while i < n:
+        c = text[i]
+        two = text[i:i + 2]
+        if c == "\n":
+            endline()
+            i += 1
+        elif two == "//":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            comments[line] = comments.get(line, "") + text[i + 2:j]
+            i = j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            block = text[i + 2:j]
+            for k, part in enumerate(block.split("\n")):
+                comments[line + k] = comments.get(line + k, "") + part
+                if k:
+                    endline()
+            i = j + 2
+        elif c == '"':
+            # Skip string literal (handles escapes; raw strings R"(...)"
+            # are matched on their delimiter).
+            if text[i - 1:i] == "R":
+                m = re.match(r'R"([^(]*)\(', text[i - 1:i + 20])
+                if m:
+                    end = ')%s"' % m.group(1)
+                    j = text.find(end, i)
+                    j = n - len(end) if j < 0 else j
+                    line += text.count("\n", i, j)
+                    buf.append('""')
+                    i = j + len(end)
+                    continue
+            buf.append('"')
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    i += 1
+                if i < n and text[i] == "\n":
+                    endline()
+                i += 1
+            buf.append('"')
+            i += 1
+        elif c == "'":
+            buf.append("' '")
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+        else:
+            buf.append(c)
+            i += 1
+    if buf:
+        code.append("".join(buf))
+    return code, comments
+
+
+# ---------------------------------------------------------------------------
+# Regexes shared by the statement handlers.
+# ---------------------------------------------------------------------------
+
+CLASS_HEAD_RE = re.compile(
+    r"^(?:template\s*<[^{;]*?>\s*)?(?:class|struct|union)\b")
+ENUM_HEAD_RE = re.compile(r"^enum\b")
+NAMESPACE_HEAD_RE = re.compile(r"^(?:inline\s+)?namespace\b")
+EXTERN_HEAD_RE = re.compile(r"^extern\b")
+ATTR_MACRO_RE = re.compile(r"\b(?:MPX_[A-Z_]+|alignas)\s*\([^()]*\)")
+GUARDED_BY_RE = re.compile(r"\bMPX_GUARDED_BY\s*\(\s*([^)]+?)\s*\)")
+PT_GUARDED_BY_RE = re.compile(r"\bMPX_PT_GUARDED_BY\s*\(\s*([^)]+?)\s*\)")
+RANK_RE = re.compile(r"\bLockRank::(\w+)\b")
+GUARD_DECL_RE = re.compile(
+    r"\b(?:base::)?(LockGuard|TryLockGuard)(?:<[^;()]*?>)?\s+\w+\s*"
+    r"[({]\s*(.+?)\s*[)}]\s*;?$")
+STD_GUARD_RE = re.compile(
+    r"\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\s*"
+    r"(?:<[^;>]*>)?\s+\w+\s*[({]\s*([^,;)}]+)")
+MANUAL_LOCK_RE = re.compile(
+    r"^([A-Za-z_][\w.\[\]>-]*?)\s*(?:\.|->)\s*(lock|unlock)\s*\(\s*\)\s*;?$")
+ATOMIC_OP_RE = re.compile(
+    r"([A-Za-z_][\w.\[\]>-]*?)\s*(?:\.|->)\s*"
+    r"(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|"
+    r"compare_exchange_weak|compare_exchange_strong|test_and_set)\s*\(")
+ORDER_NAME_RE = re.compile(r"\bmemory_order(?:::|_)(\w+)\b")
+ORDER_HINT_RE = re.compile(r"memory_order|\bmo\b|\border\b")
+CALL_RE = re.compile(r"(?<![\w.>])((?:\w+::)*)([A-Za-z_]\w*)\s*\(")
+MEMBER_CALL_RE = re.compile(
+    r"([A-Za-z_][\w.\[\]>-]*?)\s*(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+PLAIN_WRITE_RE = re.compile(
+    r"^(?:\*\s*)?([A-Za-z_][\w.\[\]>-]*?)\s*(?:\.|->)\s*([A-Za-z_]\w*)"
+    r"\s*(?:=(?!=)|\+=|-=|\|=|&=|\^=|\+\+|--)")
+LOCAL_DECL_RE = re.compile(
+    r"^(?:const\s+)?((?:\w+(?:::\w+)*)(?:<[^;]*?>)?)\s*(?:const\s*)?"
+    r"[&*]?\s+([A-Za-z_]\w*)\s*(?:=|\{|\(|;|:)")
+AUTO_ACCESSOR_RE = re.compile(
+    r"^(?:const\s+)?auto\s*[&*]?\s+([A-Za-z_]\w*)\s*=\s*"
+    r"[\w.>-]*?([A-Za-z_]\w*)\s*\(")
+KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "case", "do",
+    "else", "new", "delete", "catch", "throw", "static_cast", "const_cast",
+    "reinterpret_cast", "dynamic_cast", "alignof", "decltype", "assert",
+    "defined", "static_assert", "noexcept", "alignas", "co_await",
+    "co_return", "co_yield",
+}
+
+
+def _allow_tags(comments: Dict[int, str], line: int) -> Set[str]:
+    out: Set[str] = set()
+    for ln in (line, line - 1):
+        c = comments.get(ln, "")
+        m = re.search(config.ALLOW_RE, c)
+        if m:
+            out.update(t.strip() for t in m.group(1).split(","))
+    return out
+
+
+def _seqcst_annotated(comments: Dict[int, str], line: int) -> bool:
+    for ln in (line, line - 1):
+        if re.search(config.SEQ_CST_INTENTIONAL_RE, comments.get(ln, "")):
+            return True
+    return False
+
+
+def classify_type(type_text: str) -> str:
+    t = type_text
+    if "mc::atomic" in t:
+        return MC_ATOMIC
+    if "std::atomic" in t:
+        return RAW_ATOMIC
+    if re.search(r"\bmc::(mutex|rec_mutex|spinlock)\b", t):
+        return MC_MUTEX
+    if "InstrumentedMutex" in t:
+        return INST_MUTEX
+    if re.search(r"\bSpinlock\b", t):
+        return SPINLOCK
+    if re.search(r"\bstd::(recursive_|shared_|timed_)?mutex\b", t):
+        return RAW_MUTEX
+    if "condition_variable" in t:
+        return CONDVAR
+    return PLAIN
+
+
+# ---------------------------------------------------------------------------
+# Pass B: statement scanner with a context stack.
+# ---------------------------------------------------------------------------
+
+class _Scope:
+    """One open block inside a function: owns the guards declared in it."""
+
+    def __init__(self, depth: int):
+        self.depth = depth
+        self.acquires: List[Acquire] = []
+
+
+class _FnCtx:
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.scopes: List[_Scope] = [_Scope(0)]
+        self.locals: Dict[str, str] = {}   # var name -> class short name
+
+    def active_acquires(self) -> List[Acquire]:
+        return [a for s in self.scopes for a in s.acquires]
+
+
+class _Parser:
+    def __init__(self, model: CodeModel, path: str, rel: str):
+        self.model = model
+        self.rel = rel
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        lines, self.comments = strip_noncode(text)
+        # Drop preprocessor lines (keep line count).
+        self.lines = [("" if ln.lstrip().startswith("#") else ln)
+                      for ln in lines]
+        # ctx stack entries: ("global"|"namespace"|"class"|"enum"|"block"|
+        #                     "function", payload)
+        self.ctx: List[Tuple[str, object]] = [("global", None)]
+
+    # -- context helpers ---------------------------------------------------
+    def _cur_class(self) -> Optional[ClassModel]:
+        for kind, payload in reversed(self.ctx):
+            if kind == "class":
+                return payload
+        return None
+
+    def _cur_fn(self) -> Optional[_FnCtx]:
+        for kind, payload in reversed(self.ctx):
+            if kind == "function":
+                return payload
+            if kind == "class":
+                return None
+        return None
+
+    def _block_depth(self) -> int:
+        return sum(1 for k, _ in self.ctx if k in ("block", "function"))
+
+    # -- main loop ---------------------------------------------------------
+    def run(self) -> None:
+        buf: List[str] = []
+        buf_line = 1
+        buf_has_content = False
+        paren = 0
+        init_brace = 0
+        text = "\n".join(self.lines)
+        line = 1
+        i, n = 0, len(text)
+        while i < n:
+            c = text[i]
+            if not buf_has_content and not c.isspace():
+                buf_line = line
+                buf_has_content = True
+            if c == "\n":
+                line += 1
+                buf.append(" ")
+                i += 1
+                continue
+            if c == "(":
+                paren += 1
+            elif c == ")":
+                paren = max(0, paren - 1)
+            if init_brace:
+                if c == "{":
+                    init_brace += 1
+                elif c == "}":
+                    init_brace -= 1
+                buf.append(c)
+                i += 1
+                continue
+            if c == "{" and paren == 0:
+                stmt = "".join(buf).strip()
+                if self._brace_opens_block(stmt, buf):
+                    self._open_block(stmt, buf_line)
+                    buf = []
+                    buf_has_content = False
+                else:
+                    init_brace = 1
+                    buf.append(c)
+                i += 1
+            elif c == "{":
+                # Brace inside parens (lambda argument, init list): consume
+                # inline as part of the statement.
+                init_brace = 1
+                buf.append(c)
+                i += 1
+            elif c == "}" and paren == 0:
+                stmt = "".join(buf).strip()
+                if stmt:
+                    self._statement(stmt, buf_line, line)
+                self._close_block(line)
+                buf = []
+                buf_has_content = False
+                i += 1
+            elif c == ";" and paren == 0:
+                stmt = "".join(buf).strip().lstrip(";").strip()
+                if stmt:
+                    self._statement(stmt, buf_line, line)
+                buf = []
+                buf_has_content = False
+                i += 1
+            else:
+                buf.append(c)
+                i += 1
+        self._flush_fn_scopes(line)
+
+    def _brace_opens_block(self, stmt: str, buf: List[str]) -> bool:
+        s = stmt
+        # Strip access labels that merged into the statement.
+        s = re.sub(r"^(?:public|private|protected)\s*:\s*", "", s)
+        if not s:
+            return True
+        if (CLASS_HEAD_RE.match(s) or ENUM_HEAD_RE.match(s)
+                or NAMESPACE_HEAD_RE.match(s) or EXTERN_HEAD_RE.match(s)):
+            return True
+        last = s[-1]
+        if last in ")]:;}":
+            return True
+        tail = s.split()[-1] if s.split() else ""
+        if tail in ("else", "do", "try", "const", "override", "final",
+                    "noexcept", "mutable", "->"):
+            return True
+        # In class/namespace scope, `name(args) const override` etc. —
+        # treat any statement containing a top-level "(" as a definition
+        # head (ctor-init lists end with ")" and hit the branch above; a
+        # head ending in an identifier after ")" hits `tail` above).
+        return False
+
+    def _open_block(self, stmt: str, stmt_line: int) -> None:
+        s = re.sub(r"^(?:public|private|protected)\s*:\s*", "", stmt)
+        if NAMESPACE_HEAD_RE.match(s) or EXTERN_HEAD_RE.match(s):
+            self.ctx.append(("namespace", None))
+            return
+        if ENUM_HEAD_RE.match(s):
+            self.ctx.append(("enum", None))
+            return
+        if CLASS_HEAD_RE.match(s):
+            self._open_class(s, stmt_line)
+            return
+        fn = self._cur_fn()
+        if fn is not None:
+            # Opening a nested block: first process the statement head
+            # (e.g. `for (...)` declares loop locals, `if (...)` has calls).
+            if s:
+                self._statement(s, stmt_line, stmt_line, is_block_head=True)
+            self.ctx.append(("block", None))
+            fn.scopes.append(_Scope(self._block_depth()))
+            return
+        # Function definition head at class/namespace/global scope.
+        if "(" in s:
+            self._open_function(s, stmt_line)
+        else:
+            self.ctx.append(("block", None))
+
+    def _open_class(self, s: str, line: int) -> None:
+        head = re.sub(r"^template\s*<[^{;]*?>\s*", "", s)
+        head = re.sub(r"^(class|struct|union)\s+", "", head)
+        head = ATTR_MACRO_RE.sub(" ", head)
+        head = re.sub(r"\[\[[^\]]*\]\]", " ", head)
+        m = re.match(r"\s*([A-Za-z_]\w*)", head)
+        if not m:
+            self.ctx.append(("block", None))
+            return
+        name = m.group(1)
+        # Nested classes are keyed Outer::Inner so that same-named nested
+        # types (Nic::Channel vs ShmTransport::Channel) stay distinct.
+        outer = self._cur_class()
+        if outer is not None:
+            name = f"{outer.name}::{name}"
+        bases: List[str] = []
+        colon = self._toplevel_colon(head)
+        if colon >= 0:
+            for part in head[colon + 1:].split(","):
+                part = re.sub(r"\b(public|private|protected|virtual)\b", "",
+                              part).strip()
+                part = re.sub(r"<.*", "", part)
+                if part:
+                    bases.append(part.split("::")[-1].strip())
+        cm = self.model.classes.get(name)
+        if cm is None:
+            cm = ClassModel(name=name, file=self.rel, line=line, bases=bases)
+            self.model.classes[name] = cm
+        else:
+            for b in bases:
+                if b not in cm.bases:
+                    cm.bases.append(b)
+        self.ctx.append(("class", cm))
+
+    @staticmethod
+    def _toplevel_colon(s: str) -> int:
+        depth = 0
+        i = 0
+        while i < len(s):
+            c = s[i]
+            if c == "<":
+                depth += 1
+            elif c == ">":
+                depth = max(0, depth - 1)
+            elif c == ":" and depth == 0:
+                if i + 1 < len(s) and s[i + 1] == ":":
+                    i += 2
+                    continue
+                return i
+            i += 1
+        return -1
+
+    def _open_function(self, s: str, line: int) -> None:
+        pre = s.split("(", 1)[0].rstrip()
+        chunk = pre.split()[-1] if pre.split() else ""
+        chunk = chunk.lstrip("*&~")
+        parts = chunk.split("::")
+        name = parts[-1] if parts else ""
+        cls: Optional[str] = None
+        if len(parts) >= 2 and parts[-2] and parts[-2][0].isupper():
+            cls = parts[-2]
+        ctx_cls = self._cur_class()
+        if cls is None and ctx_cls is not None:
+            cls = ctx_cls.name
+        if pre.endswith("~"):
+            name = "~" + name
+        fn = Function(name=name, file=self.rel, line=line, cls=cls,
+                      is_override=bool(re.search(r"\boverride\b", s)),
+                      signature=s)
+        fn.allow = _allow_tags(self.comments, line)
+        fctx = _FnCtx(fn)
+        self._seed_params(fctx, s)
+        self.model.functions.append(fn)
+        self.ctx.append(("function", fctx))
+
+    def _seed_params(self, fctx: _FnCtx, sig: str) -> None:
+        m = re.search(r"\((.*)\)", sig)
+        if not m:
+            return
+        args, depth = [], 0
+        cur = []
+        for c in m.group(1):
+            if c in "<([":
+                depth += 1
+            elif c in ">)]":
+                depth -= 1
+            if c == "," and depth == 0:
+                args.append("".join(cur))
+                cur = []
+            else:
+                cur.append(c)
+        args.append("".join(cur))
+        for a in args:
+            am = re.match(
+                r"\s*(?:const\s+)?((?:\w+(?:::\w+)*)(?:<[^)]*?>)?)\s*"
+                r"(?:const\s*)?[&*]*\s*([A-Za-z_]\w*)\s*(?:=[^,]*)?$", a)
+            if am:
+                fctx.locals[am.group(2)] = am.group(1).split("::")[-1]
+
+    def _close_block(self, line: int) -> None:
+        if len(self.ctx) <= 1:
+            return
+        kind, _ = self.ctx[-1]
+        if kind == "function":
+            fctx = self.ctx[-1][1]
+            for scope in fctx.scopes:
+                for a in scope.acquires:
+                    if not a.end_line:
+                        a.end_line = line
+        elif kind == "block":
+            fctx = self._cur_fn()
+            if fctx is not None and len(fctx.scopes) > 1:
+                scope = fctx.scopes.pop()
+                for a in scope.acquires:
+                    if not a.end_line:
+                        a.end_line = line
+        self.ctx.pop()
+
+    def _flush_fn_scopes(self, line: int) -> None:
+        while len(self.ctx) > 1:
+            self._close_block(line)
+
+    # -- statement handlers ------------------------------------------------
+    def _statement(self, stmt: str, line: int, end_line: int,
+                   is_block_head: bool = False) -> None:
+        stmt = re.sub(r"^(?:public|private|protected)\s*:\s*", "", stmt)
+        stmt = re.sub(r"^(?:case\s+[^:]+|default)\s*:\s*", "", stmt)
+        if not stmt:
+            return
+        fctx = self._cur_fn()
+        if fctx is not None:
+            self._body_statement(fctx, stmt, line, is_block_head)
+            return
+        kind, payload = self.ctx[-1]
+        if kind == "class":
+            self._field_statement(payload, stmt, line)
+
+    def _field_statement(self, cm: ClassModel, stmt: str, line: int) -> None:
+        s = stmt.strip()
+        if re.search(r"\boperator\b", s):
+            return  # operator overload decl (e.g. `T& operator=(...) = delete`)
+        if re.match(r"^(using|typedef|friend|static_assert|template|enum|"
+                    r"class|struct|union|explicit|operator|virtual\s+~|~)",
+                    s):
+            # `virtual void poll(...) = 0` etc. fall through to the
+            # `(`-check below; pure using/typedef/friend lines stop here.
+            if re.match(r"^(using|typedef|friend|static_assert)", s):
+                return
+        allow = _allow_tags(self.comments, line)
+        guarded = GUARDED_BY_RE.search(s)
+        pt_guarded = PT_GUARDED_BY_RE.search(s)
+        rank_m = RANK_RE.search(s)
+        body = GUARDED_BY_RE.sub(" ", s)
+        body = PT_GUARDED_BY_RE.sub(" ", body)
+        body = re.sub(r"\balignas\s*\([^()]*\)", " ", body)
+        body = re.sub(r"\[\[[^\]]*\]\]", " ", body)
+        # Strip initializer: first top-level '=' or '{'.
+        depth = 0
+        cut = -1
+        for i, c in enumerate(body):
+            if c in "<([":
+                depth += 1
+            elif c in ">)]":
+                depth = max(0, depth - 1)
+            elif depth == 0 and (c == "{" or (c == "=" and
+                                              body[i:i + 2] != "==")):
+                cut = i
+                break
+        if cut >= 0:
+            body = body[:cut]
+        body = body.strip().rstrip(";").strip()
+        is_static = bool(re.match(r"^\s*static\b", body))
+        is_const = bool(re.search(r"\b(const|constexpr)\b", body))
+        body = re.sub(r"^\s*(static|mutable|constexpr|inline|const)\b\s*",
+                      "", body)
+        body = re.sub(r"^\s*(static|mutable|constexpr|inline|const)\b\s*",
+                      "", body)
+        if "(" in body or not body:
+            return  # method declaration / ctor / operator
+        m = re.match(r"^(.*?[\s&*>])\s*([A-Za-z_]\w*)$", body)
+        if not m:
+            return
+        type_text, name = m.group(1).strip(), m.group(2)
+        if not type_text or type_text in ("return",):
+            return
+        f = Field(name=name, type_text=type_text, line=line,
+                  kind=classify_type(type_text),
+                  guarded_by=guarded.group(1) if guarded else None,
+                  pt_guarded_by=pt_guarded.group(1) if pt_guarded else None,
+                  rank=rank_m.group(1) if rank_m else None,
+                  is_static=is_static, is_const=is_const, allow=allow)
+        # A lock member with no LockRank arg is unranked.
+        cm.fields.setdefault(name, f)
+
+    # -- function body events ----------------------------------------------
+    def _body_statement(self, fctx: _FnCtx, stmt: str, line: int,
+                        is_block_head: bool) -> None:
+        fn = fctx.fn
+        fn.allow |= _allow_tags(self.comments, line)
+        if "MPX_MC_PLAIN_WRITE" in stmt or "MPX_MC_PLAIN_READ" in stmt:
+            fn.has_mc_plain_annotation = True
+
+        self._extract_locals(fctx, stmt)
+        acquired_here = self._extract_guards(fctx, stmt, line)
+        self._extract_atomics(fctx, stmt, line)
+        self._extract_calls(fctx, stmt, line, acquired_here)
+        self._extract_plain_writes(fctx, stmt, line)
+
+    def _extract_locals(self, fctx: _FnCtx, stmt: str) -> None:
+        # `auto* x = static_cast<Foo*>(...)` — type from the cast.
+        cm = re.match(r"^(?:const\s+)?auto\s*[&*]?\s+([A-Za-z_]\w*)\s*=\s*"
+                      r"(?:static_cast|reinterpret_cast|dynamic_cast)\s*<"
+                      r"\s*(?:const\s+)?([\w:]+)", stmt)
+        if cm:
+            fctx.locals[cm.group(1)] = cm.group(2).split("::")[-1]
+            return
+        m = AUTO_ACCESSOR_RE.match(stmt)
+        if m:
+            ret = config.ACCESSOR_RETURN_TYPES.get(m.group(2))
+            if ret:
+                fctx.locals[m.group(1)] = ret
+            return
+        m = LOCAL_DECL_RE.match(stmt)
+        if m and m.group(1) not in ("return", "delete", "throw", "goto",
+                                    "new", "else", "auto"):
+            base = re.sub(r"<.*", "", m.group(1)).split("::")[-1]
+            if base not in KEYWORDS:
+                fctx.locals.setdefault(m.group(2), base)
+        # for-loop heads: `for (int i = 0; ...; ...)`
+        fm = re.match(r"^for\s*\((.*)$", stmt)
+        if fm:
+            dm = LOCAL_DECL_RE.match(fm.group(1).strip())
+            if dm:
+                base = re.sub(r"<.*", "", dm.group(1)).split("::")[-1]
+                fctx.locals.setdefault(dm.group(2), base)
+
+    def _extract_guards(self, fctx: _FnCtx, stmt: str,
+                        line: int) -> List[Acquire]:
+        out: List[Acquire] = []
+        kind = None
+        expr = None
+        m = GUARD_DECL_RE.search(stmt)
+        if m:
+            kind = "try_guard" if m.group(1) == "TryLockGuard" else "guard"
+            expr = m.group(2).split(",")[0].strip()
+        else:
+            m2 = STD_GUARD_RE.search(stmt)
+            if m2:
+                kind = "guard"
+                expr = m2.group(1).strip()
+            else:
+                m3 = MANUAL_LOCK_RE.match(stmt)
+                if m3:
+                    if m3.group(2) == "unlock":
+                        self._close_manual(fctx, m3.group(1), line)
+                        return out
+                    kind = "manual"
+                    expr = m3.group(1)
+        if not expr:
+            return out
+        cls, field = self._owner_of_member(fctx, expr)
+        rank = None
+        if cls and field:
+            f = self.model.classes.get(cls, ClassModel("", "")).field(field)
+            if f is not None:
+                if f.kind not in (INST_MUTEX, SPINLOCK, RAW_MUTEX, MC_MUTEX):
+                    return out  # resolved to a non-lock member: not a guard
+                rank = f.rank
+        a = Acquire(line=line, expr=expr,
+                    resolved=(cls, field) if cls and field else None,
+                    rank=rank, depth=self._block_depth(), kind=kind or "guard")
+        fctx.scopes[-1].acquires.append(a)
+        fctx.fn.acquires.append(a)
+        out.append(a)
+        return out
+
+    def _close_manual(self, fctx: _FnCtx, expr: str, line: int) -> None:
+        for scope in reversed(fctx.scopes):
+            for a in reversed(scope.acquires):
+                if a.kind == "manual" and a.expr == expr and not a.end_line:
+                    a.end_line = line
+                    scope.acquires.remove(a)
+                    return
+
+    def _extract_atomics(self, fctx: _FnCtx, stmt: str, line: int) -> None:
+        for m in ATOMIC_OP_RE.finditer(stmt):
+            obj, op = m.group(1), m.group(2)
+            args = self._call_args(stmt, m.end())
+            orders: Set[str] = set(ORDER_NAME_RE.findall(args))
+            if not orders and ORDER_HINT_RE.search(args):
+                orders = {"forwarded"}
+            cls, member = self._owner_of_member(fctx, obj)
+            fctx.fn.atomic_ops.append(AtomicOp(
+                line=line, member=member or obj,
+                obj_expr=obj, cls=cls, op=op, orders=orders,
+                annotated_intentional=_seqcst_annotated(self.comments,
+                                                        line)))
+
+    @staticmethod
+    def _call_args(stmt: str, start: int) -> str:
+        depth = 1
+        i = start
+        while i < len(stmt) and depth:
+            if stmt[i] == "(":
+                depth += 1
+            elif stmt[i] == ")":
+                depth -= 1
+            i += 1
+        return stmt[start:i - 1] if depth == 0 else stmt[start:]
+
+    def _extract_calls(self, fctx: _FnCtx, stmt: str, line: int,
+                       acquired_here: List[Acquire]) -> None:
+        held = {a.rank for a in fctx.active_acquires()
+                if a.rank and a not in acquired_here}
+        held_exprs = {a.expr for a in fctx.active_acquires()
+                      if a not in acquired_here}
+        seen: Set[Tuple[str, Optional[str]]] = set()
+        for m in MEMBER_CALL_RE.finditer(stmt):
+            obj, name = m.group(1), m.group(2)
+            if name in KEYWORDS or name in config.ATOMIC_ORDER_METHODS:
+                continue
+            cls = self._type_of_expr(fctx, obj)
+            if (name, cls) in seen:
+                continue
+            seen.add((name, cls))
+            fctx.fn.calls.append(Call(line=line, name=name, recv_cls=cls,
+                                      held_ranks=set(held),
+                                      held_exprs=set(held_exprs)))
+        for m in CALL_RE.finditer(stmt):
+            name = m.group(2)
+            pre = stmt[:m.start()].rstrip()
+            if pre.endswith(".") or pre.endswith("->"):
+                continue  # member call, handled above
+            if name in KEYWORDS or name.startswith("MPX_"):
+                continue
+            if name[0].isupper():
+                continue  # constructor / type
+            if (name, None) in seen:
+                continue
+            seen.add((name, None))
+            fctx.fn.calls.append(Call(
+                line=line, name=name, recv_cls=None,
+                qualifier=m.group(1).rstrip(":"),
+                held_ranks=set(held), held_exprs=set(held_exprs)))
+
+    def _extract_plain_writes(self, fctx: _FnCtx, stmt: str,
+                              line: int) -> None:
+        if LOCAL_DECL_RE.match(stmt) or AUTO_ACCESSOR_RE.match(stmt):
+            return
+        m = PLAIN_WRITE_RE.match(stmt)
+        if not m:
+            return
+        obj, member = m.group(1), m.group(2)
+        cls, field = self._owner_of_member(fctx, f"{obj}.{member}")
+        fctx.fn.plain_writes.append(PlainMemberWrite(
+            line=line, member=member, obj_expr=obj, cls=cls))
+
+    # -- expression resolution ---------------------------------------------
+    @staticmethod
+    def _split_expr(expr: str) -> List[str]:
+        parts = re.split(r"->|\.", re.sub(r"\[[^\]]*\]", "", expr))
+        return [p.strip() for p in parts if p.strip()]
+
+    def _lookup_class(self, name: Optional[str],
+                      ctx_cls: Optional[str]) -> Optional[str]:
+        """Resolve a (possibly short) class name to a model key.
+
+        Nested classes are keyed Outer::Inner; resolution prefers the
+        innermost enclosing scope of `ctx_cls`, then the global name, then
+        a unique ::name suffix match (ambiguous -> None, never a guess)."""
+        if not name:
+            return None
+        classes = self.model.classes
+        if ctx_cls:
+            parts = ctx_cls.split("::")
+            for i in range(len(parts), 0, -1):
+                cand = "::".join(parts[:i] + [name])
+                if cand in classes:
+                    return cand
+        if name in classes:
+            return name
+        hits = [k for k in classes if k.endswith("::" + name)]
+        return hits[0] if len(hits) == 1 else None
+
+    def _type_of_expr(self, fctx: Optional[_FnCtx],
+                      expr: str) -> Optional[str]:
+        """Class (model key) of the expression's static type, or None."""
+        parts = self._split_expr(expr)
+        if not parts:
+            return None
+        head = parts[0]
+        cur: Optional[str] = None
+        fn_cls = fctx.fn.cls if fctx else None
+        owner = self._lookup_class(fn_cls, None) if fn_cls else None
+        ocm = self.model.classes.get(owner) if owner else None
+        if head == "this":
+            cur = owner or fn_cls
+        elif fctx and head in fctx.locals:
+            cur = self._lookup_class(fctx.locals[head], owner or fn_cls)
+        elif ocm is not None and ocm.field(head):
+            cur = self._lookup_class(
+                self._class_of_type(ocm.fields[head].type_text), owner)
+        else:
+            owners = [c for c in self.model.classes.values()
+                      if c.field(head)]
+            if len(owners) == 1:
+                cur = self._lookup_class(
+                    self._class_of_type(owners[0].fields[head].type_text),
+                    owners[0].name)
+            else:
+                return None
+        for nxt in parts[1:]:
+            if cur is None:
+                return None
+            cm = self.model.classes.get(cur)
+            fl = cm.field(nxt) if cm else None
+            cur = (self._lookup_class(self._class_of_type(fl.type_text), cur)
+                   if fl else None)
+        return cur
+
+    def _owner_of_member(self, fctx: Optional[_FnCtx], expr: str
+                         ) -> Tuple[Optional[str], Optional[str]]:
+        """Resolve `a.b.c` to (class owning field `c`, "c")."""
+        parts = self._split_expr(expr)
+        if not parts:
+            return None, None
+        member = parts[-1]
+        chain = parts[:-1]
+        if chain:
+            owner = self._type_of_expr(fctx, ".".join(chain))
+            if owner and self.model.classes.get(owner) and \
+                    self.model.classes[owner].field(member):
+                return owner, member
+        else:
+            fn_cls = fctx.fn.cls if fctx else None
+            owner = self._lookup_class(fn_cls, None) if fn_cls else None
+            if owner and self.model.classes[owner].field(member):
+                return owner, member
+        owners = [c.name for c in self.model.classes.values()
+                  if c.field(member)]
+        if len(owners) == 1:
+            return owners[0], member
+        return None, member
+
+    @staticmethod
+    def _class_of_type(type_text: str) -> Optional[str]:
+        t = re.sub(r"\b(const|std::unique_ptr|std::shared_ptr)\b", " ",
+                   type_text)
+        t = t.replace("<", " ").replace(">", " ")
+        t = t.replace("*", " ").replace("&", " ")
+        toks = [tok.split("::")[-1] for tok in t.split() if tok]
+        for tok in reversed(toks):
+            if tok and tok[0].isupper():
+                return tok
+        return None
+
+
+# ---------------------------------------------------------------------------
+
+
+def build(files: List[str], repo_root: str) -> CodeModel:
+    model = CodeModel(engine="textual")
+    ordered = sorted(files, key=lambda p: (not p.endswith((".hpp", ".h")), p))
+    rels = [os.path.relpath(p, repo_root) for p in ordered]
+    model.files.extend(rels)
+    comments: Dict[str, Dict[int, str]] = {}
+    # Two passes: first all files for class/field decls, then again so
+    # function bodies resolve against the complete class table.
+    for phase in ("decls", "bodies"):
+        if phase == "bodies":
+            model.functions.clear()
+        for path, rel in zip(ordered, rels):
+            try:
+                p = _Parser(model, path, rel)
+                p.run()
+                comments[rel] = p.comments
+            except Exception as exc:  # pragma: no cover - defensive
+                model.diagnostics.append(
+                    f"textual engine: failed to parse {rel}: {exc!r}")
+    # Per-line comment maps for checks that need annotation context.
+    model.comments = comments  # type: ignore[attr-defined]
+    return model

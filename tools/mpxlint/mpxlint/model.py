@@ -1,0 +1,160 @@
+"""Engine-agnostic code model.
+
+Both engines (textual and clang.cindex) populate this IR; checks consume
+only this module, so every check works identically under either engine.
+All positions are 1-based (file, line)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+# Field kinds ---------------------------------------------------------------
+RAW_ATOMIC = "raw_atomic"        # std::atomic<T> / std::atomic_flag
+MC_ATOMIC = "mc_atomic"          # mc::atomic<T>
+RAW_MUTEX = "raw_mutex"          # std::mutex / std::recursive_mutex / ...
+MC_MUTEX = "mc_mutex"            # mc::mutex / mc::rec_mutex / mc::spinlock
+INST_MUTEX = "inst_mutex"        # base::InstrumentedMutex
+SPINLOCK = "spinlock"            # base::Spinlock
+CONDVAR = "condvar"              # std::condition_variable[_any]
+PLAIN = "plain"                  # anything else
+
+LOCK_KINDS = (RAW_MUTEX, MC_MUTEX, INST_MUTEX, SPINLOCK)
+CAPABILITY_LOCK_KINDS = (INST_MUTEX, SPINLOCK)  # TSA-annotated lock types
+ATOMIC_KINDS = (RAW_ATOMIC, MC_ATOMIC)
+
+
+@dataclasses.dataclass
+class Field:
+    name: str
+    type_text: str
+    kind: str = PLAIN
+    line: int = 0
+    guarded_by: Optional[str] = None       # lock expr from MPX_GUARDED_BY
+    pt_guarded_by: Optional[str] = None
+    rank: Optional[str] = None             # LockRank name for lock fields
+    is_static: bool = False
+    is_const: bool = False
+    allow: Set[str] = dataclasses.field(default_factory=set)  # inline allows
+
+
+@dataclasses.dataclass
+class ClassModel:
+    name: str                              # short name (no namespace)
+    file: str
+    line: int = 0
+    bases: List[str] = dataclasses.field(default_factory=list)
+    fields: Dict[str, Field] = dataclasses.field(default_factory=dict)
+
+    def field(self, name: str) -> Optional[Field]:
+        return self.fields.get(name)
+
+
+@dataclasses.dataclass
+class Acquire:
+    """A lock acquisition site inside a function body."""
+    line: int
+    expr: str                              # source expr, e.g. "v.mu"
+    resolved: Optional[Tuple[str, str]] = None   # (class, field)
+    rank: Optional[str] = None             # LockRank name, None = unranked
+    depth: int = 0                         # block depth at acquisition
+    end_line: int = 0                      # last line the guard is held
+    kind: str = "guard"                    # guard | try_guard | manual
+
+
+@dataclasses.dataclass
+class AtomicOp:
+    line: int
+    member: str                            # final member name, e.g. "head"
+    obj_expr: str                          # full object expr
+    cls: Optional[str] = None              # resolved owning class
+    op: str = "load"                       # load/store/fetch_add/...
+    orders: Set[str] = dataclasses.field(default_factory=set)
+    # orders: subset of {relaxed, consume, acquire, release, acq_rel,
+    # seq_cst, forwarded}; empty set = implicit seq_cst
+    annotated_intentional: bool = False    # "// mo: seq_cst intentional"
+
+
+@dataclasses.dataclass
+class Call:
+    line: int
+    name: str                              # callee name (last token)
+    recv_cls: Optional[str] = None         # receiver class when inferable
+    qualifier: str = ""                    # e.g. "ext" for ext::foo(...)
+    held_ranks: Set[str] = dataclasses.field(default_factory=set)
+    held_exprs: Set[str] = dataclasses.field(default_factory=set)
+
+
+@dataclasses.dataclass
+class PlainMemberWrite:
+    line: int
+    member: str
+    obj_expr: str
+    cls: Optional[str] = None
+
+
+@dataclasses.dataclass
+class Function:
+    name: str
+    file: str
+    line: int
+    cls: Optional[str] = None              # enclosing/owner class short name
+    is_override: bool = False
+    signature: str = ""
+    acquires: List[Acquire] = dataclasses.field(default_factory=list)
+    atomic_ops: List[AtomicOp] = dataclasses.field(default_factory=list)
+    calls: List[Call] = dataclasses.field(default_factory=list)
+    plain_writes: List[PlainMemberWrite] = dataclasses.field(
+        default_factory=list)
+    has_mc_plain_annotation: bool = False  # any MPX_MC_PLAIN_* in body
+    allow: Set[str] = dataclasses.field(default_factory=set)
+
+    @property
+    def key(self) -> str:
+        qual = f"{self.cls}::" if self.cls else ""
+        return f"{self.file}:{self.line}:{qual}{self.name}"
+
+
+@dataclasses.dataclass
+class CodeModel:
+    """Whole-corpus model handed to every check."""
+    classes: Dict[str, ClassModel] = dataclasses.field(default_factory=dict)
+    functions: List[Function] = dataclasses.field(default_factory=list)
+    files: List[str] = dataclasses.field(default_factory=list)
+    engine: str = "textual"
+    diagnostics: List[str] = dataclasses.field(default_factory=list)
+
+    # -- convenience lookups shared by checks -------------------------------
+    def derived_of(self, base: str) -> List[ClassModel]:
+        """Classes whose (transitive) base list contains `base`."""
+        out = []
+        for c in self.classes.values():
+            seen: Set[str] = set()
+            stack = list(c.bases)
+            while stack:
+                b = stack.pop()
+                if b in seen:
+                    continue
+                seen.add(b)
+                if b == base:
+                    out.append(c)
+                    break
+                parent = self.classes.get(b)
+                if parent:
+                    stack.extend(parent.bases)
+        return out
+
+    def functions_named(self, name: str) -> List[Function]:
+        return [f for f in self.functions if f.name == name]
+
+    def methods_of(self, cls: str, name: str) -> List[Function]:
+        return [f for f in self.functions if f.cls == cls and f.name == name]
+
+    def lock_rank_of(self, cls: Optional[str], field: str) -> Optional[str]:
+        if cls is None:
+            return None
+        c = self.classes.get(cls)
+        if not c:
+            return None
+        fl = c.field(field)
+        return fl.rank if fl else None

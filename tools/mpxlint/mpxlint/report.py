@@ -1,0 +1,99 @@
+"""Findings, baselines, and output formatting (human + JSON)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from typing import Dict, List, Optional
+
+
+@dataclasses.dataclass
+class Finding:
+    check: str                 # check id, e.g. "lock-rank"
+    file: str                  # repo-relative path
+    line: int
+    message: str
+    key: str = ""              # stable identity for baselining (no lines)
+    severity: str = "error"
+
+    def __post_init__(self):
+        if not self.key:
+            self.key = f"{self.check}:{self.file}:{self.message}"
+
+    def to_json(self) -> Dict:
+        return {
+            "check": self.check,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "key": self.key,
+            "severity": self.severity,
+        }
+
+
+class Baseline:
+    """Checked-in set of accepted finding keys (tools/mpxlint/baseline.json).
+
+    Keys are line-number-free so unrelated edits don't invalidate them.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.entries: Dict[str, str] = {}   # key -> reason
+        if path:
+            try:
+                with open(path, encoding="utf-8") as f:
+                    data = json.load(f)
+                for e in data.get("findings", []):
+                    self.entries[e["key"]] = e.get("reason", "")
+            except FileNotFoundError:
+                pass
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.key in self.entries
+
+    def write(self, findings: List[Finding]) -> None:
+        assert self.path
+        data = {
+            "comment": "mpxlint baseline: accepted findings by stable key. "
+                       "Prefer inline '// mpxlint: allow(<check>)' for new "
+                       "code; baseline entries need a reason.",
+            "findings": sorted(
+                ({"key": f.key, "reason": self.entries.get(f.key, "baselined")}
+                 for f in findings),
+                key=lambda e: e["key"]),
+        }
+        with open(self.path, "w", encoding="utf-8") as f:
+            json.dump(data, f, indent=2)
+            f.write("\n")
+
+
+def emit_human(findings: List[Finding], diagnostics: List[str],
+               engine: str, stream=None) -> None:
+    out = stream or sys.stdout
+    for d in diagnostics:
+        print(f"mpxlint: note: {d}", file=out)
+    for f in sorted(findings, key=lambda x: (x.file, x.line, x.check)):
+        print(f"{f.file}:{f.line}: {f.severity}: [{f.check}] {f.message}",
+              file=out)
+    n = len(findings)
+    print(f"mpxlint ({engine} engine): "
+          f"{n} finding{'s' if n != 1 else ''}", file=out)
+
+
+def emit_json(findings: List[Finding], diagnostics: List[str],
+              engine: str, path: Optional[str] = None) -> None:
+    doc = {
+        "tool": "mpxlint",
+        "engine": engine,
+        "findings": [f.to_json() for f in
+                     sorted(findings, key=lambda x: (x.file, x.line))],
+        "diagnostics": diagnostics,
+    }
+    text = json.dumps(doc, indent=2) + "\n"
+    if path:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""mpxlint self-tests: every seeded fixture must fire its check, the clean
+control must not, and the real tree must scan clean against the baseline.
+
+Runs under pytest or plain `python3 tools/mpxlint/test_mpxlint.py`
+(ctest registers the plain form). Mirrors the PR 3 seeded-mutation
+discipline: a check that cannot catch its own seeded violation is dead
+code, not a gate.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def run_lint(*args):
+    """Run mpxlint as a subprocess; returns (exit_code, report_dict)."""
+    cmd = [sys.executable, HERE, "--json", "--no-baseline", *args]
+    proc = subprocess.run(cmd, capture_output=True, text=True, cwd=REPO)
+    if proc.returncode not in (0, 1):
+        raise AssertionError(
+            f"mpxlint crashed ({proc.returncode}):\n{proc.stdout}\n"
+            f"{proc.stderr}")
+    return proc.returncode, json.loads(proc.stdout)
+
+
+def findings_of(report, check_id):
+    return [f for f in report["findings"] if f["check"] == check_id]
+
+
+class FixtureTests(unittest.TestCase):
+    """One seeded violation per check; each must be caught."""
+
+    def fixture(self, name):
+        return os.path.join(FIXTURES, name)
+
+    def test_rank_inversion_caught(self):
+        code, report = run_lint("--check", "lock-rank",
+                                self.fixture("rank_inversion.cpp"))
+        self.assertEqual(code, 1)
+        hits = findings_of(report, "lock-rank")
+        self.assertTrue(hits, f"lock-rank missed its fixture: {report}")
+        self.assertTrue(any("inversion" in f["message"] for f in hits))
+
+    def test_raw_atomic_in_modeled_code_caught(self):
+        code, report = run_lint("--check", "mc-coverage",
+                                self.fixture("raw_atomic_modeled.cpp"))
+        self.assertEqual(code, 1)
+        hits = findings_of(report, "mc-coverage")
+        members = {f["message"].split(" ", 1)[0] for f in hits}
+        self.assertIn("Ring::head", members)
+        self.assertIn("Ring::m", members)
+
+    def test_unpaired_release_caught(self):
+        code, report = run_lint("--check", "memory-order",
+                                self.fixture("unpaired_release.cpp"))
+        self.assertEqual(code, 1)
+        hits = findings_of(report, "memory-order")
+        self.assertTrue(any("unpaired-release" in f["key"] for f in hits),
+                        f"memory-order missed its fixture: {report}")
+
+    def test_blocking_wait_in_poll_caught(self):
+        code, report = run_lint("--check", "progress-contract",
+                                self.fixture("blocking_poll.cpp"))
+        self.assertEqual(code, 1)
+        hits = findings_of(report, "progress-contract")
+        self.assertTrue(any("wait_all" in f["message"] for f in hits),
+                        f"progress-contract missed its fixture: {report}")
+        # The violation is transitive (poll -> helper_drain -> wait_all);
+        # the path must be reported.
+        self.assertTrue(any("helper_drain" in f["message"] for f in hits))
+
+    def test_unannotated_guarded_field_caught(self):
+        code, report = run_lint("--check", "tsa-ratchet",
+                                self.fixture("unannotated_guarded.cpp"))
+        self.assertEqual(code, 1)
+        hits = findings_of(report, "tsa-ratchet")
+        self.assertEqual(
+            [f["key"] for f in hits],
+            ["tsa-ratchet:Tracker::dropped"],
+            f"expected exactly the 'dropped' field: {report}")
+
+    def test_clean_control_is_clean(self):
+        code, report = run_lint(self.fixture("clean.cpp"))
+        self.assertEqual(code, 0, f"clean fixture flagged: {report}")
+        self.assertEqual(report["findings"], [])
+
+
+class TreeTests(unittest.TestCase):
+    """The real tree must be clean modulo the checked-in baselines."""
+
+    def test_repo_scan_is_clean(self):
+        cmd = [sys.executable, HERE, "--json", "include", "src"]
+        proc = subprocess.run(cmd, capture_output=True, text=True, cwd=REPO)
+        self.assertIn(proc.returncode, (0, 1),
+                      f"mpxlint crashed:\n{proc.stdout}\n{proc.stderr}")
+        report = json.loads(proc.stdout)
+        self.assertEqual(
+            proc.returncode, 0,
+            "unbaselined findings in the tree:\n" + "\n".join(
+                f"{f['file']}:{f['line']}: [{f['check']}] {f['message']}"
+                for f in report["findings"]))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
