@@ -28,7 +28,11 @@ void rank_body(mpx::World& world, int rank, double* user_us,
   for (int rep = 0; rep < kReps; ++rep) {
     value = rank + rep;
     bool done = false;
-    mpx::coll::user_allreduce_int_sum_start(&value, 1, comm, &done);
+    if (mpx::coll::user_allreduce_int_sum_start(&value, 1, comm, &done) !=
+        mpx::Err::success) {
+      std::fprintf(stderr, "user_allreduce_int_sum_start refused\n");
+      std::abort();
+    }
     while (!done) {
       mpx::stream_progress(stream);
       std::this_thread::yield();

@@ -20,6 +20,7 @@ enum class Err : int {
   no_match,    ///< probe found no matching message
   resource,    ///< out of internal resources (queue full, vci exhausted)
   internal,    ///< invariant violation detected at runtime
+  unsupported, ///< valid arguments outside this entry point's fast path
 };
 
 /// Human-readable name for an error code.

@@ -27,13 +27,29 @@ extern const void* const in_place;
 Request ibarrier(const Comm& comm);
 void barrier(const Comm& comm);
 
-/// Algorithm selection: binomial tree for short messages, pipelined chain
-/// above bcast_long_min bytes (classic latency/bandwidth tradeoff; the
-/// abl_coll_algos bench quantifies the crossover).
+/// ibcast/ireduce/iallreduce route through the schedule compiler
+/// (mpx::coll::ir) when the datatype is compilable and MPX_COLL_IR is not
+/// disabled: the per-comm cache then serves repeated shapes with zero
+/// planning and zero allocation. Non-contiguous datatypes — and every
+/// collective the compiler does not cover yet — take the legacy
+/// round-based builders below (also callable directly as *_rounds, the
+/// bench's A/B reference).
 Request ibcast(void* buf, std::size_t count, dtype::Datatype dt, int root,
                const Comm& comm);
 void bcast(void* buf, std::size_t count, dtype::Datatype dt, int root,
            const Comm& comm);
+
+/// Legacy round-based paths (pre-compiler behavior, kept as the bench and
+/// correctness reference): binomial/chain bcast, binomial-tree reduce,
+/// recursive-doubling allreduce.
+Request ibcast_rounds(void* buf, std::size_t count, dtype::Datatype dt,
+                      int root, const Comm& comm);
+Request ireduce_rounds(const void* sendbuf, void* recvbuf, std::size_t count,
+                       dtype::Datatype dt, dtype::ReduceOp op, int root,
+                       const Comm& comm);
+Request iallreduce_rounds(const void* sendbuf, void* recvbuf,
+                          std::size_t count, dtype::Datatype dt,
+                          dtype::ReduceOp op, const Comm& comm);
 
 /// Force the binomial-tree algorithm (latency-optimized).
 Request ibcast_binomial(void* buf, std::size_t count, dtype::Datatype dt,

@@ -7,20 +7,42 @@
 // where the user-level implementation matches (and slightly beats) the
 // native nonblocking allreduce thanks to its special-case shortcuts:
 // in-place, int32 + sum, power-of-two ranks only.
+//
+// Shapes outside the shortcut are a runtime condition, not API misuse: the
+// int_sum entry points return Err::unsupported (no coordination has
+// happened, the call is a clean no-op) and the caller falls back to
+// user_allreduce(), the generalized form routed through the schedule
+// compiler (mpx::coll::ir), whose non-power-of-two fold phases and cached
+// specialization subsume the Listing 1.8 trick for any comm size.
 #pragma once
 
+#include "mpx/base/status.hpp"
 #include "mpx/core/comm.hpp"
+#include "mpx/dtype/datatype.hpp"
+#include "mpx/dtype/reduce_op.hpp"
 
 namespace mpx::coll {
 
 /// Blocking user-level allreduce of `count` int32 elements in place in
-/// `buf`, op = sum. Requires a power-of-two communicator size. Drives
-/// progress on the comm's stream until complete (Listing 1.8's wait loop).
-void user_allreduce_int_sum(void* buf, std::size_t count, const Comm& comm);
+/// `buf`, op = sum. Requires a power-of-two communicator size — returns
+/// Err::unsupported otherwise, without communicating. Drives progress on
+/// the comm's stream until complete (Listing 1.8's wait loop).
+[[nodiscard]] Err user_allreduce_int_sum(void* buf, std::size_t count,
+                                         const Comm& comm);
 
 /// Nonblocking form: `*done` is set true by the poll function when the
-/// allreduce finishes (the caller keeps driving stream progress).
-void user_allreduce_int_sum_start(void* buf, std::size_t count,
-                                  const Comm& comm, bool* done);
+/// allreduce finishes (the caller keeps driving stream progress). On
+/// Err::unsupported nothing was started and `*done` is left untouched.
+[[nodiscard]] Err user_allreduce_int_sum_start(void* buf, std::size_t count,
+                                               const Comm& comm, bool* done);
+
+/// Generalized user-level allreduce: any communicator size (including
+/// non-power-of-two), any contiguous dtype/op pair, in place in `buf`.
+/// Routed through the schedule compiler, so repeated shapes run from the
+/// per-comm cache. Returns Err::unsupported for datatypes the compiler
+/// cannot serve (non-contiguous layouts).
+[[nodiscard]] Err user_allreduce(void* buf, std::size_t count,
+                                 dtype::Datatype dt, dtype::ReduceOp op,
+                                 const Comm& comm);
 
 }  // namespace mpx::coll

@@ -182,4 +182,13 @@ Request make_persistent_generic(
     World& world, const Stream& stream,
     std::function<base::Ref<core_detail::RequestImpl>()> factory);
 
+/// As above, additionally pinning `pinned` for the handle's lifetime. A
+/// persistent collective passes its compiled schedule + executor cursor +
+/// scratch here so each start() re-arms pre-built state instead of
+/// allocating (the factory typically captures a raw pointer into `pinned`).
+Request make_persistent_generic(
+    World& world, const Stream& stream,
+    std::function<base::Ref<core_detail::RequestImpl>()> factory,
+    std::shared_ptr<void> pinned);
+
 }  // namespace mpx

@@ -1,0 +1,36 @@
+// mpx/core/comm_ext.hpp
+//
+// Per-communicator extension slot. Layers above core (the collective
+// schedule compiler keeps its per-comm schedule cache here) can attach one
+// object to a communicator without core knowing its type; the CommImpl owns
+// it and deletes it at comm teardown, which is what ties a schedule cache's
+// lifetime to its communicator.
+#pragma once
+
+#include <memory>
+
+namespace mpx {
+class Comm;
+}
+
+namespace mpx::core_detail {
+
+/// Base class for per-comm extension state. Destroyed with the CommImpl.
+class CommExt {
+ public:
+  virtual ~CommExt() = default;
+};
+
+/// The extension currently attached to `comm`'s shared state (nullptr when
+/// none). Lock-free acquire load; safe from any member thread.
+CommExt* comm_ext(const Comm& comm);
+
+/// Get-or-install: returns the attached extension, creating one via `make`
+/// when the slot is empty. First writer wins (CAS publish); a losing
+/// racer's object is destroyed and the winner returned. `make` must not
+/// touch the slot itself.
+CommExt* comm_ext_get_or_install(const Comm& comm,
+                                 std::unique_ptr<CommExt> (*make)(void* arg),
+                                 void* arg);
+
+}  // namespace mpx::core_detail

@@ -165,6 +165,11 @@ struct RequestImpl : base::RefCounted {
   /// pgeneric: launches one cycle's inner operation (persistent
   /// collectives re-run their schedule factory here).
   std::function<base::Ref<RequestImpl>()> pgen_factory;
+  /// pgeneric: state pinned for the handle's lifetime (a persistent
+  /// collective pins its compiled schedule, cursor, and scratch so every
+  /// start() after the first is allocation-free). Freed when the handle's
+  /// last reference drops.
+  std::shared_ptr<void> pgen_pinned;
 
   bool cancelled = false;
 };

@@ -21,6 +21,10 @@
 
 #include "mpx/base/status.hpp"
 
+namespace mpx {
+class World;
+}
+
 namespace mpx::core_detail {
 
 struct Vci;
@@ -79,6 +83,13 @@ class ProgressSource {
   /// Advance this stage's work on `v`; add to *made for each completion or
   /// forward step observed (the engine early-exits on *made != 0).
   virtual void poll(Vci& v, int* made) = 0;
+
+  /// True when this source holds no unfinished work on `v` that
+  /// World::finalize_rank must drain (or that stream_free must refuse on).
+  /// Unlike idle() this is a teardown-grade check, not a hot-path gate; the
+  /// default keeps sources with no deferred state out of the conjunction.
+  /// Called under the VCI lock.
+  virtual bool quiescent(Vci& v) { (void)v; return true; }
 };
 
 /// One compiled stage table entry. The source/mask halves are fixed at
@@ -134,5 +145,20 @@ class ProgressRegistry {
   std::vector<std::unique_ptr<ProgressSource>> sources_;
   bool published_ = false;
 };
+
+/// Process-wide source factories, appended to every subsequently-created
+/// World's registry between the in-tree sources and WorldConfig's
+/// extra_sources. This is how optional link-time subsystems collate without
+/// a core dependency: a static registrar object in the subsystem's
+/// translation unit (pulled in when anything references that TU) registers
+/// its factory before main(), so every World a program can build the
+/// subsystem's requests on also polls its stage. The collective schedule
+/// executor (mpx::coll::ir) registers itself this way.
+///
+/// Registration must happen during static initialization (single-threaded);
+/// the list is read-only afterwards.
+using StaticSourceFactory = std::unique_ptr<ProgressSource> (*)(World&);
+void register_static_source(StaticSourceFactory make);
+const std::vector<StaticSourceFactory>& static_source_factories();
 
 }  // namespace mpx::core_detail

@@ -11,6 +11,7 @@ std::string to_string(Err e) {
     case Err::no_match: return "no_match";
     case Err::resource: return "resource";
     case Err::internal: return "internal";
+    case Err::unsupported: return "unsupported";
   }
   return "unknown";
 }

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "mpx/base/cvar.hpp"
+#include "mpx/coll/ir.hpp"
 #include "mpx/core/waittest.hpp"
 
 namespace mpx::coll {
@@ -17,6 +18,21 @@ const std::byte in_place_tag{};
 
 void wait_blocking(Request r, const Comm& comm) {
   wait_on_stream(r, comm.stream());
+}
+
+/// MPX_COLL_IR=0 pins every collective to the legacy round-based builders
+/// (escape hatch + the bench's baseline series).
+bool coll_ir_enabled() {
+  static const bool v = base::cvar_bool("MPX_COLL_IR", true);
+  return v;
+}
+
+/// The compiled path serves contiguous datatypes with a nonzero payload;
+/// zero-count calls stay on the round-based builders (they synchronize
+/// with zero-byte messages and some pass null buffers, which the compiled
+/// front end rejects).
+bool use_ir(const dtype::Datatype& dt, std::size_t count) {
+  return count != 0 && coll_ir_enabled() && ir::eligible(dt);
 }
 
 int floor_pow2(int n) {
@@ -60,6 +76,14 @@ std::size_t bcast_long_min() {
 
 Request ibcast(void* buf, std::size_t count, dtype::Datatype dt, int root,
                const Comm& comm) {
+  if (use_ir(dt, count)) {
+    return ir::ibcast(buf, count, std::move(dt), root, comm);
+  }
+  return ibcast_rounds(buf, count, std::move(dt), root, comm);
+}
+
+Request ibcast_rounds(void* buf, std::size_t count, dtype::Datatype dt,
+                      int root, const Comm& comm) {
   if (count * dt.size() >= bcast_long_min() && comm.size() > 2) {
     return ibcast_chain(buf, count, std::move(dt), root, comm);
   }
@@ -145,6 +169,17 @@ Request ibcast_chain(void* buf, std::size_t count, dtype::Datatype dt,
 Request ireduce(const void* sendbuf, void* recvbuf, std::size_t count,
                 dtype::Datatype dt, dtype::ReduceOp op, int root,
                 const Comm& comm) {
+  if (use_ir(dt, count)) {
+    return ir::ireduce(sendbuf, recvbuf, count, std::move(dt), op, root,
+                       comm);
+  }
+  return ireduce_rounds(sendbuf, recvbuf, count, std::move(dt), op, root,
+                        comm);
+}
+
+Request ireduce_rounds(const void* sendbuf, void* recvbuf, std::size_t count,
+                       dtype::Datatype dt, dtype::ReduceOp op, int root,
+                       const Comm& comm) {
   expects(root >= 0 && root < comm.size(), "ireduce: root out of range");
   expects(dt.is_contiguous(),
           "ireduce: reductions require contiguous datatypes");
@@ -196,6 +231,15 @@ void reduce(const void* sendbuf, void* recvbuf, std::size_t count,
 
 Request iallreduce(const void* sendbuf, void* recvbuf, std::size_t count,
                    dtype::Datatype dt, dtype::ReduceOp op, const Comm& comm) {
+  if (use_ir(dt, count)) {
+    return ir::iallreduce(sendbuf, recvbuf, count, std::move(dt), op, comm);
+  }
+  return iallreduce_rounds(sendbuf, recvbuf, count, std::move(dt), op, comm);
+}
+
+Request iallreduce_rounds(const void* sendbuf, void* recvbuf,
+                          std::size_t count, dtype::Datatype dt,
+                          dtype::ReduceOp op, const Comm& comm) {
   expects(dt.is_contiguous(),
           "iallreduce: reductions require contiguous datatypes");
   auto s = std::make_unique<Sched>(comm);
@@ -578,6 +622,12 @@ Request allreduce_init(const void* sendbuf, void* recvbuf, std::size_t count,
                        const Comm& comm) {
   expects(comm.valid() && dt.is_contiguous(),
           "allreduce_init: bad arguments");
+  if (use_ir(dt, count)) {
+    // Compiled persistent path: the schedule and executor cursor are built
+    // once and pinned to the handle; start() re-arms them allocation-free.
+    return ir::allreduce_init(sendbuf, recvbuf, count, std::move(dt), op,
+                              comm);
+  }
   return make_persistent_coll(comm, [=] {
     return iallreduce(sendbuf, recvbuf, count, dt, op, comm);
   });

@@ -1,0 +1,144 @@
+// Cache front end of the collective schedule compiler: the per-comm
+// SchedCache lives in the communicator's extension slot, and the public
+// iallreduce/ibcast/ireduce entry points resolve (algorithm, count class)
+// to a key, fetch-or-compile the schedule, and hand it to the executor.
+// Steady state is find() -> launch(): one acquire load, a short scan, and
+// pooled cursor arming — no planning, no allocation.
+#include <memory>
+#include <utility>
+
+#include "ir_internal.hpp"
+#include "mpx/base/cvar.hpp"
+#include "mpx/coll/coll.hpp"
+#include "mpx/core/world.hpp"
+
+namespace mpx::coll::ir {
+namespace {
+
+std::unique_ptr<core_detail::CommExt> make_coll_ext(void* /*arg*/) {
+  return std::make_unique<CollCommExt>(static_cast<std::size_t>(
+      base::cvar_int("MPX_COLL_CACHE_CAP", 64)));
+}
+
+SchedPtr get_or_compile(CollKind kind, std::size_t count, dtype::Datatype dt,
+                        dtype::ReduceOp op, bool inp, int root,
+                        const Comm& comm, const Opts& opts) {
+  const std::size_t bytes = count * dt.size();
+  const net::CostModel& net = comm.world().config().net;
+  const Algo algo = resolve_algo(kind, bytes, comm.size(), net, opts.algo);
+  if (!opts.use_cache) {
+    return compile(kind, count, dt, op, inp, root, comm.rank(), comm.size(),
+                   net, algo);
+  }
+  CollCommExt& ext = coll_ext(comm);
+  SchedKey k;
+  k.kind = kind;
+  k.algo = algo;
+  k.leaf = dt.leaf();
+  k.esz = static_cast<std::uint32_t>(dt.size());
+  k.op = op;
+  k.cls = static_cast<std::uint8_t>(count_class(bytes));
+  k.in_place = inp;
+  k.root = root;
+  k.rank = comm.rank();
+  // Any schedule cached under this key admits `count`: schedules are
+  // compiled for their class's byte bound, and count_class(bytes) == k.cls
+  // implies count <= max_count.
+  if (SchedPtr s = ext.cache.find(k)) return s;
+  SchedPtr s = compile(kind, count, dt, op, inp, root, comm.rank(),
+                       comm.size(), net, algo);
+  if (SchedPtr pub = ext.cache.insert(k, s)) return pub;
+  return s;  // table at capacity: run the private copy uncached
+}
+
+}  // namespace
+
+CollCommExt& coll_ext(const Comm& comm) {
+  core_detail::CommExt* e = core_detail::comm_ext(comm);
+  if (e == nullptr) {
+    e = core_detail::comm_ext_get_or_install(comm, &make_coll_ext, nullptr);
+  }
+  return *static_cast<CollCommExt*>(e);
+}
+
+bool eligible(const dtype::Datatype& dt) {
+  return dt.valid() && dt.is_contiguous() && dt.size() > 0;
+}
+
+CacheStats cache_stats(const Comm& comm) {
+  expects(comm.valid(), "coll ir cache_stats: invalid communicator");
+  CacheStats out;
+  auto* e = static_cast<CollCommExt*>(core_detail::comm_ext(comm));
+  if (e == nullptr) return out;  // comm never used the compiled path
+  out.hits = e->cache.hits();
+  out.misses = e->cache.misses();
+  out.rejects = e->cache.rejects();
+  out.entries = e->cache.entries();
+  for (const SchedPtr& s : e->cache.snapshot()) {
+    const base::PoolStats st = s->arena_pool.stats();
+    out.scratch_hits += st.hits;
+    out.scratch_misses += st.misses;
+  }
+  return out;
+}
+
+Request iallreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                   dtype::Datatype dt, dtype::ReduceOp op, const Comm& comm,
+                   Opts opts) {
+  expects(comm.valid() && recvbuf != nullptr,
+          "coll ir iallreduce: bad arguments");
+  expects(eligible(dt), "coll ir iallreduce: datatype not compilable");
+  const bool inp = sendbuf == coll::in_place;
+  expects(inp || sendbuf != nullptr, "coll ir iallreduce: null sendbuf");
+  SchedPtr s = get_or_compile(CollKind::allreduce, count, std::move(dt), op,
+                              inp, /*root=*/0, comm, opts);
+  return launch(std::move(s), inp ? nullptr : sendbuf, recvbuf, count, comm);
+}
+
+Request ibcast(void* buf, std::size_t count, dtype::Datatype dt, int root,
+               const Comm& comm, Opts opts) {
+  expects(comm.valid() && buf != nullptr && root >= 0 && root < comm.size(),
+          "coll ir ibcast: bad arguments");
+  expects(eligible(dt), "coll ir ibcast: datatype not compilable");
+  // Bcast data lives in the recv space; there is no send buffer.
+  SchedPtr s = get_or_compile(CollKind::bcast, count, std::move(dt),
+                              dtype::ReduceOp::sum, /*inp=*/true, root, comm,
+                              opts);
+  return launch(std::move(s), nullptr, buf, count, comm);
+}
+
+Request ireduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                dtype::Datatype dt, dtype::ReduceOp op, int root,
+                const Comm& comm, Opts opts) {
+  expects(comm.valid() && root >= 0 && root < comm.size(),
+          "coll ir ireduce: bad arguments");
+  expects(eligible(dt), "coll ir ireduce: datatype not compilable");
+  const bool inp = sendbuf == coll::in_place;
+  // MPI semantics: in-place only at the root (the contribution is in
+  // recvbuf there); non-roots contribute sendbuf and may pass a null
+  // recvbuf.
+  expects(!inp || comm.rank() == root,
+          "coll ir ireduce: in_place is root-only");
+  expects(inp || sendbuf != nullptr, "coll ir ireduce: null sendbuf");
+  expects(comm.rank() != root || recvbuf != nullptr,
+          "coll ir ireduce: null recvbuf at root");
+  SchedPtr s = get_or_compile(CollKind::reduce, count, std::move(dt), op,
+                              inp, root, comm, opts);
+  return launch(std::move(s), inp ? nullptr : sendbuf, recvbuf, count, comm);
+}
+
+Request allreduce_init(const void* sendbuf, void* recvbuf, std::size_t count,
+                       dtype::Datatype dt, dtype::ReduceOp op,
+                       const Comm& comm, Opts opts) {
+  expects(comm.valid() && recvbuf != nullptr,
+          "coll ir allreduce_init: bad arguments");
+  expects(eligible(dt), "coll ir allreduce_init: datatype not compilable");
+  const bool inp = sendbuf == coll::in_place;
+  expects(inp || sendbuf != nullptr, "coll ir allreduce_init: null sendbuf");
+  SchedPtr s = get_or_compile(CollKind::allreduce, count, std::move(dt), op,
+                              inp, /*root=*/0, comm, opts);
+  return persistent_launch(std::move(s), inp ? nullptr : sendbuf, recvbuf,
+                           count, comm);
+}
+
+}  // namespace mpx::coll::ir

@@ -1,0 +1,53 @@
+// Cross-TU internals of the coll IR layer (compiler <-> executor <-> the
+// cache front end). Not installed; include only from src/coll.
+#pragma once
+
+#include <atomic>
+
+#include "mpx/coll/ir.hpp"
+#include "mpx/coll/ir_cache.hpp"
+#include "mpx/core/comm_ext.hpp"
+
+namespace mpx::coll::ir {
+
+// ir_compile.cpp ------------------------------------------------------------
+
+/// Count class of a byte length: bucketed bit-width (MPX_COLL_CLASS_STEP
+/// buckets per power of two, default 1).
+int count_class(std::size_t bytes);
+
+/// Largest byte length admitted by class `cls` (schedules are compiled and
+/// scratch-sized for this bound).
+std::size_t class_max_bytes(int cls);
+
+/// Algorithm resolution order: per-call force, MPX_COLL_ALGO, cost model.
+/// Deterministic — every rank resolves identically.
+Algo resolve_algo(CollKind kind, std::size_t bytes, int size,
+                  const net::CostModel& net, Algo force);
+
+// ir_front.cpp --------------------------------------------------------------
+
+/// Per-communicator IR state, installed in the CommImpl extension slot and
+/// freed with the communicator: the schedule cache plus the resolved
+/// executor source (cached so launch skips the registry scan).
+struct CollCommExt final : core_detail::CommExt {
+  explicit CollCommExt(std::size_t cap) : cache(cap) {}
+  SchedCache cache;
+  /// The world's SchedExecSource, resolved on first launch. Raw atomic:
+  /// racing writers store the same value (not part of the modeled cache
+  /// protocol; this file is not in the mc fileset).
+  std::atomic<void*> exec{nullptr};
+};
+
+/// The ext slot of `comm`'s primary impl, installed on first use.
+CollCommExt& coll_ext(const Comm& comm);
+
+// ir_exec.cpp ---------------------------------------------------------------
+
+/// Persistent allreduce over a pinned cursor: each start() re-arms
+/// pre-built state (schedule, cursor, scratch, request slots) — no
+/// allocation and no planning per cycle.
+Request persistent_launch(SchedPtr sched, const void* sendbuf, void* recvbuf,
+                          std::size_t count, const Comm& comm);
+
+}  // namespace mpx::coll::ir

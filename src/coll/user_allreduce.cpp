@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "mpx/coll/coll.hpp"
+#include "mpx/coll/ir.hpp"
 #include "mpx/core/async.hpp"
 #include "mpx/core/waittest.hpp"
 
@@ -55,11 +57,17 @@ AsyncResult my_allreduce_poll(AsyncThing& thing) {
 
 }  // namespace
 
-void user_allreduce_int_sum_start(void* buf, std::size_t count,
-                                  const Comm& comm, bool* done) {
+Err user_allreduce_int_sum_start(void* buf, std::size_t count,
+                                 const Comm& comm, bool* done) {
+  expects(comm.valid() && done != nullptr,
+          "user_allreduce: invalid communicator or null done flag");
   const int size = comm.size();
-  expects((size & (size - 1)) == 0,
-          "user_allreduce: communicator size must be a power of two");
+  if ((size & (size - 1)) != 0) {
+    // A non-power-of-two comm is outside Listing 1.8's shortcut; nothing
+    // has been posted yet, so the caller can cleanly fall back to the
+    // generalized user_allreduce() below.
+    return Err::unsupported;
+  }
   auto* p = new MyAllreduce();
   p->buf = static_cast<std::int32_t*>(buf);
   p->count = count;
@@ -73,13 +81,29 @@ void user_allreduce_int_sum_start(void* buf, std::size_t count,
   *done = false;
   p->done_ptr = done;
   async_start(&my_allreduce_poll, p, comm.stream());
+  return Err::success;
 }
 
-void user_allreduce_int_sum(void* buf, std::size_t count, const Comm& comm) {
+Err user_allreduce_int_sum(void* buf, std::size_t count, const Comm& comm) {
   bool done = false;
-  user_allreduce_int_sum_start(buf, count, comm, &done);
+  const Err e = user_allreduce_int_sum_start(buf, count, comm, &done);
+  if (e != Err::success) return e;
   const Stream s = comm.stream();
   while (!done) stream_progress(s);
+  return Err::success;
+}
+
+Err user_allreduce(void* buf, std::size_t count, dtype::Datatype dt,
+                   dtype::ReduceOp op, const Comm& comm) {
+  expects(comm.valid() && (buf != nullptr || count == 0),
+          "user_allreduce: invalid communicator or null buffer");
+  if (!ir::eligible(dt)) return Err::unsupported;
+  if (count == 0) return Err::success;
+  // The compiler's non-power-of-two fold phases generalize Listing 1.8's
+  // recursive doubling; repeated shapes are served from the comm's cache.
+  Request r = ir::iallreduce(in_place, buf, count, dt, op, comm);
+  wait_on_stream(r, comm.stream());
+  return Err::success;
 }
 
 }  // namespace mpx::coll

@@ -37,6 +37,36 @@ std::any Coordinator::run(int member, std::any input,
   return (*outputs_)[static_cast<std::size_t>(member)];
 }
 
+CommImpl::~CommImpl() {
+  // Single-threaded by the time the last shared_ptr drops; the acquire
+  // pairs with the installer's CAS release so the extension's contents
+  // (compiled schedules) are visible before deletion.
+  delete ext.load(std::memory_order_acquire);
+}
+
+CommExt* comm_ext(const Comm& comm) {
+  expects(comm.valid(), "comm_ext: invalid communicator");
+  return comm.impl()->ext.load(std::memory_order_acquire);
+}
+
+CommExt* comm_ext_get_or_install(const Comm& comm,
+                                 std::unique_ptr<CommExt> (*make)(void* arg),
+                                 void* arg) {
+  expects(comm.valid() && make != nullptr,
+          "comm_ext_get_or_install: bad arguments");
+  CommImpl* ci = comm.impl();
+  CommExt* cur = ci->ext.load(std::memory_order_acquire);
+  if (cur != nullptr) return cur;
+  std::unique_ptr<CommExt> fresh = make(arg);
+  expects(fresh != nullptr, "comm_ext_get_or_install: factory returned null");
+  CommExt* expected = nullptr;
+  if (ci->ext.compare_exchange_strong(expected, fresh.get(),
+                                      std::memory_order_acq_rel)) {
+    return fresh.release();  // now owned by the CommImpl
+  }
+  return expected;  // a racing member installed first; ours is destroyed
+}
+
 }  // namespace core_detail
 
 int Comm::rank() const {

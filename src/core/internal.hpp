@@ -27,6 +27,7 @@
 
 #include "matching.hpp"
 #include "mpx/base/instrumented_mutex.hpp"
+#include "mpx/core/comm_ext.hpp"
 #include "mpx/base/intrusive.hpp"
 #include "mpx/base/lock_rank.hpp"
 #include "mpx/base/pool.hpp"
@@ -205,6 +206,8 @@ class Coordinator {
 
 /// Shared communicator state. Comm handles are per-rank views of this.
 struct CommImpl {
+  ~CommImpl();
+
   // Everything below except coll_clone is frozen by the end of comm
   // construction and read-only afterwards.
   World* world = nullptr;  ///< comms must not outlive their World — mpxlint: allow(tsa-ratchet) immutable
@@ -226,6 +229,12 @@ struct CommImpl {
   /// core lock.
   base::InstrumentedMutex clone_mu{"comm:clone", base::LockRank::none};
   std::shared_ptr<CommImpl> coll_clone MPX_GUARDED_BY(clone_mu);
+
+  /// Extension slot (comm_ext.hpp): installed lazily by upper layers with a
+  /// first-writer-wins CAS, owned and deleted by ~CommImpl. mc::atomic so
+  /// the install race is explorable alongside the cache protocol it
+  /// publishes.
+  mc::atomic<CommExt*> ext{nullptr};
 
   int to_world(int comm_rank) const { return group[comm_rank]; }
   int to_comm(int world_rank) const { return world_to_comm[world_rank]; }

@@ -69,6 +69,13 @@ Request Comm::recv_init(void* buf, std::size_t count, dtype::Datatype dt,
 Request make_persistent_generic(
     World& w, const Stream& stream,
     std::function<base::Ref<core_detail::RequestImpl>()> factory) {
+  return make_persistent_generic(w, stream, std::move(factory), nullptr);
+}
+
+Request make_persistent_generic(
+    World& w, const Stream& stream,
+    std::function<base::Ref<core_detail::RequestImpl>()> factory,
+    std::shared_ptr<void> pinned) {
   expects(static_cast<bool>(factory),
           "make_persistent_generic: empty factory");
   auto* r = new RequestImpl(ReqKind::pgeneric);
@@ -76,6 +83,7 @@ Request make_persistent_generic(
   r->vci = &w.vci(stream.rank(), stream.vci());
   r->self = stream.rank();
   r->pgen_factory = std::move(factory);
+  r->pgen_pinned = std::move(pinned);
   r->complete.store(true, std::memory_order_release);  // born inactive
   return Request(base::Ref<RequestImpl>(r));
 }

@@ -188,6 +188,22 @@ class LmtSource final : public ProgressSource {
 
 }  // namespace
 
+namespace {
+std::vector<StaticSourceFactory>& static_sources_mut() {
+  static std::vector<StaticSourceFactory> factories;
+  return factories;
+}
+}  // namespace
+
+void register_static_source(StaticSourceFactory make) {
+  expects(make != nullptr, "register_static_source: null factory");
+  static_sources_mut().push_back(make);
+}
+
+const std::vector<StaticSourceFactory>& static_source_factories() {
+  return static_sources_mut();
+}
+
 void register_builtin_sources(ProgressRegistry& reg) {
   reg.add(std::make_unique<DtypeSource>());
   reg.add(std::make_unique<CollSource>());

@@ -141,10 +141,16 @@ World::World(WorldConfig cfg) : s_(std::make_unique<State>()) {
               "World: no transport reaches a rank pair");
     }
   }
-  // Progress registry: in-tree sources in Listing 1.1 order, then extras,
-  // then one poll stage per transport. Published before the first make_vci
-  // so every VCI compiles the same immutable stage order.
+  // Progress registry: in-tree sources in Listing 1.1 order, then
+  // link-time static sources (e.g. the collective schedule executor), then
+  // extras, then one poll stage per transport. Published before the first
+  // make_vci so every VCI compiles the same immutable stage order.
   core_detail::register_builtin_sources(s_->registry);
+  for (const auto make : core_detail::static_source_factories()) {
+    auto src = make(*this);
+    expects(src != nullptr, "World: static source factory returned null");
+    s_->registry.add(std::move(src));
+  }
   for (const auto& make : s_->cfg.extra_sources) {
     auto src = make(*this);
     expects(src != nullptr, "World: extra_sources factory returned null");
@@ -247,6 +253,10 @@ void World::stream_free(Stream& stream) {
                 v.lmt.empty() &&
                 v.active_ops.load(std::memory_order_relaxed) == 0,
             "stream_free: stream still has pending work");
+    for (const core_detail::ProgressStage& st : v.stages) {
+      expects(st.source->quiescent(v),
+              "stream_free: a progress source still has pending work");
+    }
 #if MPX_MODEL_CHECK
     // Seeded-mutation self-test hook: reintroduce the PR 1 bug — publishing
     // reusability while still holding v.mu lets a concurrent stream_create
@@ -288,6 +298,13 @@ void World::finalize_rank(int rank) {
           v.pack_engine.idle() &&
           v.active_ops.load(std::memory_order_relaxed) == 0 &&
           v.inbox_asyncs.maybe_empty() && v.inbox_coll.maybe_empty();
+      // Registered sources may hold deferred work the member lists above
+      // don't see (e.g. a compiled collective schedule whose requests all
+      // completed but whose local reduce tail hasn't run yet).
+      for (const core_detail::ProgressStage& st : v.stages) {
+        if (!idle) break;
+        idle = st.source->quiescent(v);
+      }
       for (const auto& t : s_->transports) {
         if (!idle) break;
         idle = t->idle(rank, static_cast<int>(i));

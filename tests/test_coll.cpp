@@ -207,9 +207,33 @@ TEST(CollUser, UserAllreduceMatchesNative) {
       user[i] = static_cast<std::int32_t>(i) + rank;
       native[i] = user[i];
     }
-    coll::user_allreduce_int_sum(user.data(), count, c);
+    ASSERT_EQ(coll::user_allreduce_int_sum(user.data(), count, c),
+              Err::success);
     coll::allreduce(coll::in_place, native.data(), count,
                     dtype::Datatype::int32(), dtype::ReduceOp::sum, c);
+    for (std::size_t i = 0; i < count; ++i) ASSERT_EQ(user[i], native[i]);
+    w->finalize_rank(rank);
+  });
+}
+
+TEST(CollUser, GeneralizedUserAllreduceMatchesNativeOnNonPow2) {
+  WorldConfig cfg;
+  cfg.nranks = 6;
+  auto w = World::create(cfg);
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Comm c = w->comm_world(rank);
+    const std::size_t count = 33;
+    std::vector<std::int64_t> user(count), native(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      user[i] = static_cast<std::int64_t>(i) * (rank + 1) - 7;
+      native[i] = user[i];
+    }
+    ASSERT_EQ(coll::user_allreduce(user.data(), count,
+                                   dtype::Datatype::int64(),
+                                   dtype::ReduceOp::max, c),
+              Err::success);
+    coll::allreduce(coll::in_place, native.data(), count,
+                    dtype::Datatype::int64(), dtype::ReduceOp::max, c);
     for (std::size_t i = 0; i < count; ++i) ASSERT_EQ(user[i], native[i]);
     w->finalize_rank(rank);
   });

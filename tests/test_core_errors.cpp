@@ -103,11 +103,37 @@ TEST(Errors, CollArgumentChecks) {
   auto noncontig = dtype::Datatype::vector(2, 1, 2, dtype::Datatype::int32());
   EXPECT_THROW(coll::allreduce(&x, &y, 1, noncontig, dtype::ReduceOp::sum, c),
                UsageError);
-  // Non-power-of-two communicator: the Listing 1.8 shortcut rejects it
-  // before any coordination happens.
+  // Non-power-of-two communicator: the Listing 1.8 shortcut reports
+  // Err::unsupported before any coordination happens (a runtime condition,
+  // not API misuse), and the nonblocking form leaves the done flag alone.
   auto w3 = World::create(WorldConfig{.nranks = 3});
-  EXPECT_THROW(coll::user_allreduce_int_sum(&x, 1, w3->comm_world(0)),
-               UsageError);
+  EXPECT_EQ(coll::user_allreduce_int_sum(&x, 1, w3->comm_world(0)),
+            Err::unsupported);
+  bool done = false;
+  EXPECT_EQ(coll::user_allreduce_int_sum_start(&x, 1, w3->comm_world(0),
+                                               &done),
+            Err::unsupported);
+  EXPECT_FALSE(done);
+  // The generalized form rejects datatypes the schedule compiler cannot
+  // serve, again without communicating.
+  EXPECT_EQ(coll::user_allreduce(&x, 1, noncontig, dtype::ReduceOp::sum, c),
+            Err::unsupported);
+}
+
+TEST(Errors, UserAllreduceGeneralizedServesNonPow2) {
+  // The compiler's non-power-of-two path picks up where the Listing 1.8
+  // shortcut bows out: same call shape, any comm size.
+  auto w = World::create(WorldConfig{.nranks = 3});
+  mpx_test::run_ranks(*w, [&](int rank) {
+    Comm c = w->comm_world(rank);
+    std::vector<std::int32_t> buf(5, rank + 1);
+    ASSERT_EQ(coll::user_allreduce(buf.data(), buf.size(),
+                                   dtype::Datatype::int32(),
+                                   dtype::ReduceOp::sum, c),
+              Err::success);
+    for (std::int32_t v : buf) ASSERT_EQ(v, 1 + 2 + 3);
+    w->finalize_rank(rank);
+  });
 }
 
 TEST(NetEdge, RendezvousTruncation) {

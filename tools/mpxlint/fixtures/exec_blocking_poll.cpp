@@ -1,0 +1,73 @@
+// mpxlint fixture: executor-shaped progress-contract violations, mirroring
+// the collective schedule executor (src/coll/ir_exec.cpp SchedExecSource):
+// poll() drains an inbox then steps the running cursors. Two seeded bugs:
+//
+//   * step_cursor() blocks on wait_on_stream while a node's request is
+//     incomplete — waiting inside progress is the paper's §3.4 deadlock
+//     (reached transitively: poll -> drain_inbox -> step_cursor);
+//   * retire_cursor() re-acquires a vci-ranked lock from inside poll,
+//     which already runs under the VCI lock.
+//
+// Expected findings: progress-contract (one blocking-call path, one
+// forbidden-rank acquisition path).
+
+namespace fix {
+
+enum class LockRank { none = 0, vci = 100 };
+
+struct InstrumentedMutex {
+  void lock();
+  void unlock();
+};
+
+template <class Mutex>
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct Vci {
+  InstrumentedMutex mu{"vci", LockRank::vci};
+};
+
+struct ProgressSource {
+  virtual bool idle(Vci& v) = 0;
+  virtual void poll(Vci& v, int* made) = 0;
+};
+
+struct Cursor {
+  Cursor* next;
+  int pending_reqs;
+};
+
+void wait_on_stream(int req);
+
+void retire_cursor(Vci& v, Cursor* c) {
+  LockGuard g(v.mu);  // re-enters the already-held VCI lock: forbidden
+  c->next = nullptr;
+}
+
+void step_cursor(Cursor* c) {
+  while (c->pending_reqs != 0) {
+    wait_on_stream(c->pending_reqs);  // blocking wait inside progress
+    --c->pending_reqs;
+  }
+}
+
+struct BadExecSource final : ProgressSource {
+  Cursor* running = nullptr;
+
+  void drain_inbox(Vci& v) {
+    for (Cursor* c = running; c != nullptr; c = c->next) {
+      step_cursor(c);
+      if (c->pending_reqs == 0) retire_cursor(v, c);
+    }
+  }
+
+  bool idle(Vci&) override { return running == nullptr; }
+  void poll(Vci& v, int* made) override {
+    drain_inbox(v);
+    *made = 0;
+  }
+};
+
+}  // namespace fix

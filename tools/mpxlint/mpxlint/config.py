@@ -49,6 +49,11 @@ MODELED_FILES = (
     "include/mpx/base/queue.hpp",
     "include/mpx/base/instrumented_mutex.hpp",
     "src/core/internal.hpp",
+    # The collective schedule cache (RCU publish protocol) and executor
+    # (cursor inbox + pending gate) — modeled by test_mc_coll_cache.cpp
+    # and driven through every interleaving the suite explores.
+    "include/mpx/coll/ir_cache.hpp",
+    "src/coll/ir_exec.cpp",
     # Fixture self-tests exercise the modeled-file rules on these.
     "tools/mpxlint/fixtures/",
 )

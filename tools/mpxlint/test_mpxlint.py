@@ -76,6 +76,21 @@ class FixtureTests(unittest.TestCase):
         # the path must be reported.
         self.assertTrue(any("helper_drain" in f["message"] for f in hits))
 
+    def test_executor_shaped_violations_caught(self):
+        # The schedule-executor shape (PR 7): poll -> drain_inbox ->
+        # step_cursor hides the blocking wait two hops deep, and the
+        # cursor-retire helper re-acquires a vci-ranked lock.
+        code, report = run_lint("--check", "progress-contract",
+                                self.fixture("exec_blocking_poll.cpp"))
+        self.assertEqual(code, 1)
+        hits = findings_of(report, "progress-contract")
+        self.assertTrue(any("wait_on_stream" in f["message"] and
+                            "step_cursor" in f["message"] for f in hits),
+                        f"missed the transitive blocking wait: {report}")
+        self.assertTrue(any("rank vci" in f["message"] and
+                            "retire_cursor" in f["message"] for f in hits),
+                        f"missed the vci-ranked re-acquisition: {report}")
+
     def test_unannotated_guarded_field_caught(self):
         code, report = run_lint("--check", "tsa-ratchet",
                                 self.fixture("unannotated_guarded.cpp"))
