@@ -21,6 +21,7 @@ enum class Err : int {
   resource,    ///< out of internal resources (queue full, vci exhausted)
   internal,    ///< invariant violation detected at runtime
   unsupported, ///< valid arguments outside this entry point's fast path
+  invalid_schedule, ///< collective schedule rejected by the static verifier
 };
 
 /// Human-readable name for an error code.

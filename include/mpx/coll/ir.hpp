@@ -38,6 +38,10 @@
 
 namespace mpx::coll::ir {
 
+namespace verify {
+struct Report;  // ir_verify.hpp
+}
+
 enum class CollKind : std::uint8_t { allreduce = 0, bcast, reduce };
 
 /// Concrete algorithm a schedule implements. `auto_` is only an input to
@@ -236,12 +240,24 @@ class Builder {
   /// Freeze into an immutable schedule valid for counts <= max_count.
   SchedPtr finish(Algo algo, int root, std::size_t max_count);
 
+  /// Run the single-rank verifier battery (structural invariants, tag-window
+  /// discipline, buffer hazards, reduce-order determinism) over the nodes
+  /// emitted so far, without consuming the builder: a user schedule fails
+  /// fast with a diagnostic instead of deadlocking the executor. Cross-rank
+  /// checks (send/recv matching, global deadlock-freedom) need every rank's
+  /// schedule — finish() each rank and call verify::verify_ranks
+  /// (ir_verify.hpp).
+  verify::Report verify() const;
+
  private:
   struct Access {
     Ref ref;
     bool writes = false;
   };
   void check_ref(const Ref& r) const;
+  /// finish() minus the move-out: builds the immutable schedule from copies
+  /// so verify() can materialize without consuming the builder.
+  SchedPtr materialize(Algo algo, int root, std::size_t max_count) const;
   std::uint32_t emit(Node nd, std::initializer_list<Access> acc);
   void assign_tag(std::uint32_t id, int peer, bool is_send);
   void add_manual_edge(std::uint32_t from, std::uint32_t to);

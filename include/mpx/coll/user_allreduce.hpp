@@ -40,7 +40,9 @@ namespace mpx::coll {
 /// non-power-of-two), any contiguous dtype/op pair, in place in `buf`.
 /// Routed through the schedule compiler, so repeated shapes run from the
 /// per-comm cache. Returns Err::unsupported for datatypes the compiler
-/// cannot serve (non-contiguous layouts).
+/// cannot serve (non-contiguous layouts), and Err::invalid_schedule when
+/// the MPX_COLL_VERIFY gate (ir_verify.hpp) rejects the compiled schedule
+/// set before anything is posted.
 [[nodiscard]] Err user_allreduce(void* buf, std::size_t count,
                                  dtype::Datatype dt, dtype::ReduceOp op,
                                  const Comm& comm);

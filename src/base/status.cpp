@@ -12,6 +12,7 @@ std::string to_string(Err e) {
     case Err::resource: return "resource";
     case Err::internal: return "internal";
     case Err::unsupported: return "unsupported";
+    case Err::invalid_schedule: return "invalid_schedule";
   }
   return "unknown";
 }

@@ -15,6 +15,8 @@
 #include <new>
 #include <utility>
 
+#include "ir_internal.hpp"
+
 namespace mpx::coll::ir {
 
 const char* to_string(Algo a) {
@@ -116,7 +118,8 @@ std::size_t Schedule::arena_bytes(std::size_t count) const {
 
 // ---- Builder ---------------------------------------------------------------
 
-namespace {
+// Shared with the verifier (ir_verify.cpp), which re-derives each node's
+// access set with the same conflict predicate — declared in ir_internal.hpp.
 
 /// Can ranges [x.b0/x.div, x.b1/x.div) and [y.b0/y.div, y.b1/y.div)
 /// intersect for some count? Exact rational comparison; floor resolution
@@ -136,8 +139,6 @@ bool refs_conflict(const Ref& a, const Ref& b) {
   if (a.space == Space::scratch && a.slot != b.slot) return false;
   return parts_overlap(a.r, b.r);
 }
-
-}  // namespace
 
 Builder::Builder(CollKind kind, dtype::Datatype dt, dtype::ReduceOp op,
                  bool in_place, int rank, int size)
@@ -290,7 +291,8 @@ void Builder::fn(FnNode f) {
   emit(nd, {Access{Ref{}, true}});
 }
 
-SchedPtr Builder::finish(Algo algo, int root, std::size_t max_count) {
+SchedPtr Builder::materialize(Algo algo, int root,
+                              std::size_t max_count) const {
   auto s = std::make_shared<Schedule>();
   s->kind = kind_;
   s->algo = algo;
@@ -304,29 +306,34 @@ SchedPtr Builder::finish(Algo algo, int root, std::size_t max_count) {
   s->nreq = nreq_;
 
   const auto n = static_cast<std::uint32_t>(nodes_.size());
-  std::sort(edges_.begin(), edges_.end());
-  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges = edges_;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
   s->succ_off.assign(n + 1, 0);
   s->indeg.assign(n, 0);
-  for (const auto& [from, to] : edges_) {
+  for (const auto& [from, to] : edges) {
     expects(from < to, "ir::Builder: edge against program order");
     ++s->succ_off[from + 1];
     expects(s->indeg[to] != 0xFFFF, "ir::Builder: dependency count overflow");
     ++s->indeg[to];
   }
   for (std::uint32_t i = 0; i < n; ++i) s->succ_off[i + 1] += s->succ_off[i];
-  s->succ.resize(edges_.size());
+  s->succ.resize(edges.size());
   std::vector<std::uint32_t> cursor(s->succ_off.begin(),
                                     s->succ_off.end() - 1);
-  for (const auto& [from, to] : edges_) s->succ[cursor[from]++] = to;
+  for (const auto& [from, to] : edges) s->succ[cursor[from]++] = to;
   for (std::uint32_t i = 0; i < n; ++i) {
     if (s->indeg[i] == 0) s->entry.push_back(i);
   }
-  s->nodes = std::move(nodes_);
-  s->slots = std::move(slots_);
-  s->fns = std::move(fns_);
+  s->nodes = nodes_;
+  s->slots = slots_;
+  s->fns = fns_;
   return s;
+}
+
+SchedPtr Builder::finish(Algo algo, int root, std::size_t max_count) {
+  return materialize(algo, root, max_count);
 }
 
 }  // namespace mpx::coll::ir

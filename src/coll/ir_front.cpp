@@ -10,6 +10,7 @@
 #include "ir_internal.hpp"
 #include "mpx/base/cvar.hpp"
 #include "mpx/coll/coll.hpp"
+#include "mpx/coll/ir_verify.hpp"
 #include "mpx/core/world.hpp"
 
 namespace mpx::coll::ir {
@@ -18,6 +19,42 @@ namespace {
 std::unique_ptr<core_detail::CommExt> make_coll_ext(void* /*arg*/) {
   return std::make_unique<CollCommExt>(static_cast<std::size_t>(
       base::cvar_int("MPX_COLL_CACHE_CAP", 64)));
+}
+
+/// MPX_COLL_VERIFY gate: before a freshly compiled schedule may enter the
+/// cache, reconstruct what every peer rank compiled for the same point
+/// (compilation is deterministic, so the peers' schedules are derivable
+/// locally) and run the full cross-rank verifier. A rejected set throws
+/// instead of caching a deadlock. Compile-path only — cache hits never
+/// come here, so the steady state is untouched.
+void verify_before_insert(CollKind kind, std::size_t count,
+                          const dtype::Datatype& dt, dtype::ReduceOp op,
+                          bool inp, int root, int size,
+                          const net::CostModel& net, Algo algo,
+                          const SchedPtr& mine) {
+  std::vector<SchedPtr> ranks(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    if (r == mine->rank) {
+      ranks[static_cast<std::size_t>(r)] = mine;
+      continue;
+    }
+    // Reduce is in-place only at the root; every other shape is uniform.
+    const bool inp_r = kind == CollKind::reduce ? (r == root && inp) : inp;
+    ranks[static_cast<std::size_t>(r)] =
+        compile(kind, count, dt, op, inp_r, root, r, size, net, algo);
+  }
+  // Fault-injection hook for tests and the offline sweep: mutate a clone
+  // of this rank's schedule (never the one that would execute) and prove
+  // the verifier catches it.
+  const std::string fault = base::cvar_string("MPX_COLL_VERIFY_FAULT", "");
+  if (!fault.empty()) {
+    auto mut = verify::clone(*mine);
+    if (verify::inject_fault(*mut, fault)) {
+      ranks[static_cast<std::size_t>(mine->rank)] = std::move(mut);
+    }
+  }
+  verify::Report rep = verify::verify_ranks(ranks);
+  if (!rep.ok()) throw verify::ScheduleVerifyError(std::move(rep));
 }
 
 SchedPtr get_or_compile(CollKind kind, std::size_t count, dtype::Datatype dt,
@@ -47,6 +84,10 @@ SchedPtr get_or_compile(CollKind kind, std::size_t count, dtype::Datatype dt,
   if (SchedPtr s = ext.cache.find(k)) return s;
   SchedPtr s = compile(kind, count, dt, op, inp, root, comm.rank(),
                        comm.size(), net, algo);
+  if (base::cvar_bool("MPX_COLL_VERIFY", false)) {
+    verify_before_insert(kind, count, dt, op, inp, root, comm.size(), net,
+                         algo, s);
+  }
   if (SchedPtr pub = ext.cache.insert(k, s)) return pub;
   return s;  // table at capacity: run the private copy uncached
 }

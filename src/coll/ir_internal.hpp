@@ -10,6 +10,17 @@
 
 namespace mpx::coll::ir {
 
+// ir.cpp --------------------------------------------------------------------
+
+/// Exact symbolic overlap test on block fractions: can the two ranges
+/// intersect for ANY element count? The Builder's hazard pass and the
+/// verifier's hazard re-derivation must agree, so there is one definition.
+bool parts_overlap(const Part& x, const Part& y);
+
+/// Operand conflict predicate over parts_overlap (Space::none = an fn
+/// node's whole-memory barrier; distinct spaces/slots are disjoint).
+bool refs_conflict(const Ref& a, const Ref& b);
+
 // ir_compile.cpp ------------------------------------------------------------
 
 /// Count class of a byte length: bucketed bit-width (MPX_COLL_CLASS_STEP

@@ -5,6 +5,7 @@
 
 #include "mpx/coll/coll.hpp"
 #include "mpx/coll/ir.hpp"
+#include "mpx/coll/ir_verify.hpp"
 #include "mpx/core/async.hpp"
 #include "mpx/core/waittest.hpp"
 
@@ -101,8 +102,15 @@ Err user_allreduce(void* buf, std::size_t count, dtype::Datatype dt,
   if (count == 0) return Err::success;
   // The compiler's non-power-of-two fold phases generalize Listing 1.8's
   // recursive doubling; repeated shapes are served from the comm's cache.
-  Request r = ir::iallreduce(in_place, buf, count, dt, op, comm);
-  wait_on_stream(r, comm.stream());
+  // Under MPX_COLL_VERIFY a schedule set the static verifier rejects is a
+  // runtime condition here, not a crash: nothing was posted (the gate runs
+  // before the cache insert and before launch), so report it as a code.
+  try {
+    Request r = ir::iallreduce(in_place, buf, count, dt, op, comm);
+    wait_on_stream(r, comm.stream());
+  } catch (const ir::verify::ScheduleVerifyError&) {
+    return Err::invalid_schedule;
+  }
   return Err::success;
 }
 

@@ -41,9 +41,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <string_view>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -877,7 +880,21 @@ void Session::fail(const std::string& why, bool fatal) {
 }
 
 void Session::dump(const std::string& why) {
-  res_.dump_path = std::string("mc_replay_") + opt_.name + ".txt";
+  // Traces land under the build tree by default (MPX_MC_DUMP_DIR_DEFAULT,
+  // set by src/mc/CMakeLists.txt) so failing runs never litter the source
+  // checkout; MPX_MC_DUMP_DIR overrides, and "." restores the old
+  // write-to-CWD behavior.
+  const char* dir = std::getenv("MPX_MC_DUMP_DIR");  // NOLINT(concurrency-mt-unsafe)
+#ifdef MPX_MC_DUMP_DIR_DEFAULT
+  if (dir == nullptr || *dir == '\0') dir = MPX_MC_DUMP_DIR_DEFAULT;
+#endif
+  std::string prefix;
+  if (dir != nullptr && *dir != '\0' && std::string_view(dir) != ".") {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (!ec) prefix = std::string(dir) + "/";
+  }
+  res_.dump_path = prefix + "mc_replay_" + opt_.name + ".txt";
   std::FILE* f = std::fopen(res_.dump_path.c_str(), "w");
   if (!f) {
     res_.dump_path.clear();

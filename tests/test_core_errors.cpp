@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "mpx/coll/coll.hpp"
@@ -92,6 +94,25 @@ TEST(Errors, PersistentMisuse) {
   std::int32_t sink = 0;
   w->comm_world(1).recv(&sink, 1, dtype::Datatype::int32(), 0, 0);
   w->comm_world(1).recv(&sink, 1, dtype::Datatype::int32(), 0, 0);
+}
+
+TEST(Errors, EveryCodeHasADistinctName) {
+  // to_string must cover the whole enum — a new code without a string
+  // renders as a bare integer in diagnostics.
+  const Err all[] = {Err::success,  Err::truncate, Err::pending,
+                     Err::cancelled, Err::no_match, Err::resource,
+                     Err::internal, Err::unsupported,
+                     Err::invalid_schedule};
+  std::set<std::string> names;
+  for (const Err e : all) {
+    const std::string n = to_string(e);
+    EXPECT_FALSE(n.empty());
+    EXPECT_EQ(n.find("err("), std::string::npos)
+        << "unnamed error code " << static_cast<int>(e);
+    names.insert(n);
+  }
+  EXPECT_EQ(names.size(), std::size(all));
+  EXPECT_EQ(to_string(Err::invalid_schedule), "invalid_schedule");
 }
 
 TEST(Errors, CollArgumentChecks) {

@@ -1,0 +1,28 @@
+// mpxlint fixture: mc:: shims in a file that is NOT in MODELED_FILES.
+// This file is deliberately absent from config.MODELED_FILES — the
+// mc-coverage inverse guard must flag both shim members, because protocol
+// code written against the mc:: layer that the explorer never schedules
+// is silently unexplored.
+// Expected findings: mc-coverage (unlisted rule), twice.
+
+namespace fix {
+
+namespace mc {
+template <class T>
+struct atomic {
+  void store(T, int);
+  T load(int) const;
+};
+struct mutex {
+  void lock();
+  void unlock();
+};
+}  // namespace mc
+
+struct ForgottenRing {
+  mc::atomic<unsigned> head{0};  // shim outside the modeled set: finding
+  mc::mutex m;                   // shim outside the modeled set: finding
+  unsigned cells = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,32 @@
+// mpxlint fixture: the collective schedule verifier reached from a
+// ProgressSource::poll override. VerifySource::poll calls
+// revalidate_cache(), which calls verify_ranks() — the verifier is a
+// compile-path tool (unbounded allocation, global event-graph build) and
+// must never run inside progress.
+// Expected finding: progress-contract (verifier call, via the transitive
+// call graph, not just the direct body).
+
+namespace fix {
+
+struct Vci;
+
+struct ProgressSource {
+  virtual bool idle(Vci& v) = 0;
+  virtual void poll(Vci& v, int* made) = 0;
+};
+
+int verify_ranks(int nranks);
+
+void revalidate_cache(int nranks) {
+  verify_ranks(nranks);  // schedule verifier reachable from poll
+}
+
+struct VerifySource final : ProgressSource {
+  bool idle(Vci&) override { return true; }
+  void poll(Vci&, int* made) override {
+    revalidate_cache(4);
+    *made = 0;
+  }
+};
+
+}  // namespace fix

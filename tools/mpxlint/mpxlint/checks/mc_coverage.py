@@ -1,18 +1,28 @@
 """mc-coverage: modeled protocol files must be visible to mpx::mc.
 
-Two rules over the MODELED_FILES set (the code whose interleavings the
-model-check preset explores):
+Three rules around the MODELED_FILES set (the code whose interleavings
+the model-check preset explores):
 
-  decl rule   — a member declared as a raw std:: synchronization primitive
-                (std::atomic, std::mutex, std::condition_variable) is
-                invisible to the scheduler's vector clocks: finding,
-                unless carrying `// mpxlint: allow(mc-coverage) <reason>`.
+  decl rule     — a member declared as a raw std:: synchronization
+                  primitive (std::atomic, std::mutex,
+                  std::condition_variable) in a modeled file is invisible
+                  to the scheduler's vector clocks: finding, unless
+                  carrying `// mpxlint: allow(mc-coverage) <reason>`.
 
-  plain rule  — a function that performs an acquire/release mc-atomic
-                operation AND writes a plain shared member must carry at
-                least one MPX_MC_PLAIN_WRITE/READ annotation, otherwise
-                the plain data rides the atomic edge unchecked and a
-                protocol weakening would not surface as a detected race.
+  plain rule    — a modeled-file function that performs an acquire/release
+                  mc-atomic operation AND writes a plain shared member
+                  must carry at least one MPX_MC_PLAIN_WRITE/READ
+                  annotation, otherwise the plain data rides the atomic
+                  edge unchecked and a protocol weakening would not
+                  surface as a detected race.
+
+  unlisted rule — the inverse guard: a member declared through the mc::
+                  shims (mc::atomic / mc::mutex) in a file that is NOT in
+                  MODELED_FILES means someone wrote model-checkable
+                  protocol code and forgot to register it — the explorer
+                  never schedules it, so the shim is dead weight and the
+                  protocol is silently unexplored. Fix: add the file to
+                  config.MODELED_FILES (and a Mc* test to drive it).
 """
 
 from __future__ import annotations
@@ -20,7 +30,7 @@ from __future__ import annotations
 from typing import List
 
 from .. import config
-from ..model import CONDVAR, MC_ATOMIC, PLAIN, RAW_ATOMIC, RAW_MUTEX
+from ..model import CONDVAR, MC_ATOMIC, MC_MUTEX, PLAIN, RAW_ATOMIC, RAW_MUTEX
 from ..report import Finding
 
 CHECK_ID = "mc-coverage"
@@ -56,6 +66,28 @@ def run(ctx) -> List[Finding]:
                          "annotate `// mpxlint: allow(mc-coverage)` with "
                          "a reason"),
                 key=f"{CHECK_ID}:decl:{cm.name}::{f.name}"))
+
+    # unlisted rule (inverse guard) ----------------------------------------
+    for cm in model.classes.values():
+        if ctx.in_fileset(cm.file, config.MODELED_FILES):
+            continue
+        if ctx.in_fileset(cm.file, config.MC_SHIM_FILES):
+            continue
+        for f in cm.fields.values():
+            if f.kind not in (MC_ATOMIC, MC_MUTEX):
+                continue
+            if CHECK_ID in f.allow or ctx.allowed(cm.file, f.line, CHECK_ID):
+                continue
+            shim_desc = "mc::atomic" if f.kind == MC_ATOMIC else "mc::mutex"
+            findings.append(Finding(
+                check=CHECK_ID, file=cm.file, line=f.line,
+                message=(f"{cm.name}::{f.name} uses the {shim_desc} shim "
+                         "but its file is not in config.MODELED_FILES: the "
+                         "model checker never explores this protocol. Add "
+                         "the file to MODELED_FILES (with an Mc* test that "
+                         "drives it), or annotate "
+                         "`// mpxlint: allow(mc-coverage)` with a reason"),
+                key=f"{CHECK_ID}:unlisted:{cm.name}::{f.name}"))
 
     # plain rule -----------------------------------------------------------
     for fn in model.functions:

@@ -11,7 +11,11 @@ override in derived classes) and flags:
   * any reachable acquisition of a lock ranked in
     config.PROGRESS_FORBIDDEN_RANKS (`vci`, `stream`): poll/idle already
     run under a vci-ranked lock, so taking another progress-engine lock
-    re-enters the engine.
+    re-enters the engine;
+  * any reachable call into the collective schedule verifier
+    (config.PROGRESS_VERIFIER_CALL_NAMES) — the verifier is a compile-path
+    tool (unbounded allocation, global event-graph construction) and must
+    never run inside progress.
 
 Calls through std::function / stored hooks are invisible to the static
 pass (documented limitation; the mc progress tests cover those).
@@ -97,6 +101,20 @@ def run(ctx) -> List[Finding]:
                                      "inside progress deadlocks "
                                      "(paper §3.4)"),
                             key=(f"{CHECK_ID}:block:{_root_label(root)}:"
+                                 f"{label}:{call.name}")))
+                    continue
+                if call.name in config.PROGRESS_VERIFIER_CALL_NAMES:
+                    if not ctx.allowed(fn.file, call.line, CHECK_ID):
+                        findings.append(Finding(
+                            check=CHECK_ID, file=fn.file, line=call.line,
+                            message=(f"{_root_label(root)} reaches "
+                                     f"schedule-verifier entry "
+                                     f"'{call.name}' via "
+                                     f"{' -> '.join(here)}: the verifier "
+                                     "is compile-path only (it allocates "
+                                     "and builds a global event graph) "
+                                     "and must never run inside progress"),
+                            key=(f"{CHECK_ID}:verify:{_root_label(root)}:"
                                  f"{label}:{call.name}")))
                     continue
                 for callee in _resolve_callees(ctx, fn, call):

@@ -54,8 +54,18 @@ MODELED_FILES = (
     # and driven through every interleaving the suite explores.
     "include/mpx/coll/ir_cache.hpp",
     "src/coll/ir_exec.cpp",
-    # Fixture self-tests exercise the modeled-file rules on these.
-    "tools/mpxlint/fixtures/",
+    # Fixture self-tests exercise the modeled-file rules on these. Listed
+    # individually (not as a directory prefix) because the mc-coverage
+    # inverse guard needs a fixture that is NOT in the modeled set
+    # (mc_shim_unlisted.cpp) living in the same directory.
+    "tools/mpxlint/fixtures/blocking_poll.cpp",
+    "tools/mpxlint/fixtures/clean.cpp",
+    "tools/mpxlint/fixtures/exec_blocking_poll.cpp",
+    "tools/mpxlint/fixtures/rank_inversion.cpp",
+    "tools/mpxlint/fixtures/raw_atomic_modeled.cpp",
+    "tools/mpxlint/fixtures/unannotated_guarded.cpp",
+    "tools/mpxlint/fixtures/unpaired_release.cpp",
+    "tools/mpxlint/fixtures/verify_in_poll.cpp",
 )
 
 # progress-contract: names that block (or re-enter the progress engine).
@@ -69,6 +79,16 @@ BLOCKING_CALL_NAMES = {
     "progress_until",
     "progress_test",
     "stream_progress",
+}
+
+# progress-contract: entry points of the collective schedule verifier
+# (src/coll/ir_verify.cpp). The verifier is a compile-path tool — it
+# allocates freely and builds a global event graph — and must never run
+# on the progress path, so any call reachable from ProgressSource::poll /
+# idle is a finding (same mechanics as BLOCKING_CALL_NAMES).
+PROGRESS_VERIFIER_CALL_NAMES = {
+    "verify_ranks",
+    "verify_local",
 }
 
 # progress-contract: lock ranks a progress source must never (transitively)

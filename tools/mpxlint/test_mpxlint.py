@@ -91,6 +91,30 @@ class FixtureTests(unittest.TestCase):
                             "retire_cursor" in f["message"] for f in hits),
                         f"missed the vci-ranked re-acquisition: {report}")
 
+    def test_mc_shim_outside_modeled_set_caught(self):
+        # The inverse guard: mc:: shims in a file absent from
+        # config.MODELED_FILES mean the protocol is never explored.
+        code, report = run_lint("--check", "mc-coverage",
+                                self.fixture("mc_shim_unlisted.cpp"))
+        self.assertEqual(code, 1)
+        hits = findings_of(report, "mc-coverage")
+        keys = {f["key"] for f in hits}
+        self.assertIn("mc-coverage:unlisted:ForgottenRing::head", keys)
+        self.assertIn("mc-coverage:unlisted:ForgottenRing::m", keys)
+        self.assertTrue(all("MODELED_FILES" in f["message"] for f in hits))
+
+    def test_verifier_call_in_poll_caught(self):
+        # The schedule verifier (ir_verify) is compile-path only; reaching
+        # it transitively from poll must be flagged with the path.
+        code, report = run_lint("--check", "progress-contract",
+                                self.fixture("verify_in_poll.cpp"))
+        self.assertEqual(code, 1)
+        hits = findings_of(report, "progress-contract")
+        self.assertTrue(any("verify_ranks" in f["message"] and
+                            "revalidate_cache" in f["message"]
+                            for f in hits),
+                        f"missed the transitive verifier call: {report}")
+
     def test_unannotated_guarded_field_caught(self):
         code, report = run_lint("--check", "tsa-ratchet",
                                 self.fixture("unannotated_guarded.cpp"))
