@@ -21,6 +21,49 @@ namespace transport {
 class Transport;
 }
 
+/// Tuning of the adaptive progress engine (task::ProgressEngine). Plain
+/// data held by WorldConfig so the engine, its tests, and its benches share
+/// one knob set; the engine itself lives in the task layer and reads this
+/// through World::config(). CVARs: MPX_ENGINE_*.
+struct ProgressEngineConfig {
+  /// Controller epoch length in microseconds: how often the per-VCI
+  /// windowed rates are sampled and promote/demote decisions made.
+  /// CVAR: MPX_ENGINE_EPOCH_US.
+  int epoch_us = 500;
+
+  /// Ceiling on engine-owned threads polling VCIs (shared pool workers +
+  /// dedicated workers; the controller itself is not counted). Promotions
+  /// that would exceed it are deferred, not dropped. CVAR:
+  /// MPX_ENGINE_MAX_WORKERS.
+  int max_workers = 2;
+
+  /// Promote inline -> shared when a VCI has work pending but the
+  /// application issued fewer than this many progress calls during the
+  /// epoch (the app is not driving its own progress). CVAR:
+  /// MPX_ENGINE_PROMOTE_POLLS.
+  int promote_app_polls = 4;
+
+  /// Promote shared -> dedicated when the engine's own polls on the VCI
+  /// hit (made progress) at or above this rate over the epoch. CVAR:
+  /// MPX_ENGINE_DEDICATE_RATE.
+  double dedicate_hit_rate = 0.5;
+
+  /// Demote one step (dedicated -> shared -> inline) when the VCI had no
+  /// pending work and the engine hit rate fell to or below this. CVAR:
+  /// MPX_ENGINE_DEMOTE_RATE.
+  double demote_hit_rate = 0.01;
+
+  /// Consecutive epochs a promote/demote signal must persist before the
+  /// transition is taken (flap damping at the thresholds). CVAR:
+  /// MPX_ENGINE_HYSTERESIS.
+  int hysteresis = 2;
+
+  /// Capacity of each shared worker's work-stealing deque of VCI
+  /// assignments (rounded up to a power of two). CVAR:
+  /// MPX_ENGINE_DEQUE_CAP.
+  int deque_capacity = 64;
+};
+
 /// Configuration for a World (one simulated MPI job).
 struct WorldConfig {
   /// Number of ranks in the job.
@@ -50,10 +93,18 @@ struct WorldConfig {
   /// Wait-loop backoff policy (request.cpp): spin this many empty progress
   /// rounds at full rate (<0 = spin forever), then sched-yield this many
   /// rounds (<0 = never sleep), then sleep with exponential backoff capped
-  /// at 64us. Any progress resets the ladder. CVARs: MPX_WAIT_SPIN,
-  /// MPX_WAIT_YIELD.
+  /// at wait_sleep_max_us. Any progress resets the ladder. CVARs:
+  /// MPX_WAIT_SPIN, MPX_WAIT_YIELD, MPX_WAIT_SLEEP_MAX.
   int wait_spin = 200;
   int wait_yield = 32;
+  /// Sleep-rung cap in microseconds, shared by the wait ladder and the
+  /// task-layer progress helper threads (one knob for every idle sleeper).
+  int wait_sleep_max_us = 64;
+
+  /// Adaptive progress engine tuning (task::ProgressEngine reads this
+  /// through World::config(); constructing a World never starts engine
+  /// threads by itself). CVARs: MPX_ENGINE_*.
+  ProgressEngineConfig progress_engine;
 
   /// Simulated NIC thresholds: <= lightweight is buffered-and-forget
   /// (Fig. 1a); <= eager_max completes at injection-done (Fig. 1b); above

@@ -34,6 +34,14 @@ struct Vci;
 int vci_rank(const Vci& v);
 int vci_id(const Vci& v);
 
+/// Drive one collated progress pass on `v` (the same compiled stage table
+/// progress_test iterates — no extra virtual hop). Entry point for external
+/// progress drivers (task::ProgressEngine workers) that hold a resolved
+/// Vci& instead of a Stream; returns nonzero when the pass moved anything.
+/// Like progress_test it acquires v.mu internally, so callers must not hold
+/// any vci/stream-ranked lock.
+int vci_poll(Vci& v, unsigned mask);
+
 /// Speculative-devirtualization tag for the in-tree stages: the engine's
 /// scan inlines their (Vci-member) skip checks instead of paying a virtual
 /// idle() hop per stage per call — the wait-loop hot path runs the whole

@@ -118,6 +118,21 @@ class World : public std::enable_shared_from_this<World> {
   };
   std::vector<StageCounter> vci_stage_table(int rank, int vci) const;
 
+  /// Wait-ladder rung occupancy of (rank, vci): how many empty backoff
+  /// pauses by blocking waits on this VCI landed on each rung (monotonic;
+  /// sample twice and subtract for a windowed rate). The adaptive progress
+  /// engine promotes VCIs whose waiters pile up on the yield/sleep rungs.
+  struct WaitRungCounters {
+    std::uint64_t spin = 0;
+    std::uint64_t yield = 0;
+    std::uint64_t sleep = 0;
+  };
+  WaitRungCounters vci_wait_rungs(int rank, int vci) const;
+
+  /// In-flight p2p/coll request count of (rank, vci) — the "is there work
+  /// pending on this endpoint" signal (lock-free relaxed read).
+  std::int64_t vci_active_ops(int rank, int vci) const;
+
   /// Matching-engine depths of (rank, vci): pending posted receives and
   /// parked unexpected messages (test/bench observability; takes the VCI
   /// lock).

@@ -21,7 +21,7 @@ namespace mpx::task {
 enum class ProgressBackoff {
   busy,   ///< spin flat out (lowest latency, burns a core)
   yield,  ///< sched_yield between idle polls
-  sleep,  ///< exponential sleep up to ~100 us when idle
+  sleep,  ///< exponential sleep when idle, capped at MPX_WAIT_SLEEP_MAX
 };
 
 /// RAII progress thread for one stream. Starts on construction, stops and
@@ -32,7 +32,10 @@ enum class ProgressBackoff {
 /// locks (rank transport*) — the same order every application thread uses,
 /// so adding a helper thread can never introduce a lock-order cycle. All
 /// members it shares with the owner (stop_, counters) are atomics; stop()
-/// is safe to call from any thread and idempotent.
+/// is safe to call from any thread, idempotent, and safe to race with the
+/// destructor (exactly one caller joins; the rest wait for the join), and
+/// its return fences the worker's final counter publish — iterations()/
+/// productive() read after stop() see the thread's last poll.
 class ProgressThread {
  public:
   explicit ProgressThread(Stream stream,
@@ -45,14 +48,25 @@ class ProgressThread {
   /// Ask the thread to stop and wait for it.
   void stop();
 
-  /// Progress calls issued so far.
+  /// Progress calls issued so far (lifetime total).
   std::uint64_t iterations() const {
     return iterations_.load(std::memory_order_relaxed);
   }
-  /// Progress calls that reported progress.
+  /// Progress calls that reported progress (lifetime total).
   std::uint64_t productive() const {
     return productive_.load(std::memory_order_relaxed);
   }
+
+  /// Windowed counter deltas since the previous sample_window() call (the
+  /// first call is the delta since construction). Epoch-based controllers
+  /// need rates over their own sampling window, not lifetime totals whose
+  /// early history drowns out behavior changes. Call from one sampling
+  /// thread at a time (the window cursor is not itself synchronized).
+  struct Window {
+    std::uint64_t iterations = 0;
+    std::uint64_t productive = 0;
+  };
+  Window sample_window();
 
  private:
   void run();
@@ -62,6 +76,9 @@ class ProgressThread {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> iterations_{0};
   std::atomic<std::uint64_t> productive_{0};
+  Window last_window_;  ///< sampling cursor (sampler-thread-only state)
+  std::atomic<bool> joining_{false};
+  std::atomic<bool> joined_{false};
   base::ScopedThread thread_;
 };
 

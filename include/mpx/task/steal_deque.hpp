@@ -1,0 +1,125 @@
+// mpx/task/steal_deque.hpp
+//
+// Chase-Lev-style work-stealing deque of small trivially-copyable items
+// (the adaptive progress engine stores VCI-assignment slot indices). One
+// owner pushes/pops at the bottom (LIFO — the hottest assignment stays
+// hottest); any number of thieves steal from the top (FIFO), so an
+// imbalanced worker pool rebalances without the controller in the loop.
+//
+// Memory model: the classic algorithm leans on std::atomic_thread_fence,
+// which the mc:: shim layer cannot intercept — a fence would be invisible
+// to the model checker and the explored interleavings would be wrong. All
+// racy operations therefore use seq_cst on the mc::atomic indices (and the
+// slot cells themselves), trading a few nanoseconds on the steal path —
+// cold by construction; the controller rebalances at epoch granularity —
+// for a protocol the checker explores exactly as written. The steal-vs-pop
+// race on the last element and the empty-steal path are exercised across
+// all schedules by tests/test_mc_engine_steal.cpp.
+//
+// Capacity is fixed (rounded up to a power of two) and push fails when
+// full: assignments are bounded by max_vcis, so overflow means a controller
+// bug, not a resize opportunity — no Chase-Lev array growth protocol.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "mpx/mc/sync.hpp"
+
+namespace mpx::task {
+
+template <class T>
+class StealDeque {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "StealDeque items must fit the mc::atomic shim");
+
+ public:
+  explicit StealDeque(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_ = std::vector<mc::atomic<T>>(cap);
+    mask_ = static_cast<std::int64_t>(cap) - 1;
+  }
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Approximate occupancy (exact when only the owner is active).
+  std::size_t size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);  // mo: seq_cst intentional
+    const std::int64_t t = top_.load(std::memory_order_seq_cst);     // mo: seq_cst intentional
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Owner only. False when full (capacity is a hard bound by design).
+  bool try_push(T v) {
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);  // mo: seq_cst intentional
+    const std::int64_t t = top_.load(std::memory_order_seq_cst);     // mo: seq_cst intentional
+    if (b - t > mask_) return false;
+    slots_[static_cast<std::size_t>(b & mask_)].store(
+        v, std::memory_order_seq_cst);                 // mo: seq_cst intentional
+    bottom_.store(b + 1, std::memory_order_seq_cst);   // mo: seq_cst intentional
+    return true;
+  }
+
+  /// Owner only: take the most recently pushed item. The single-element
+  /// case races thieves and is resolved by a CAS on `top_` — exactly one
+  /// of pop/steal wins the last item.
+  std::optional<T> try_pop() {
+    const std::int64_t b =
+        bottom_.load(std::memory_order_seq_cst) - 1;   // mo: seq_cst intentional
+    bottom_.store(b, std::memory_order_seq_cst);       // mo: seq_cst intentional
+    std::int64_t t = top_.load(std::memory_order_seq_cst);  // mo: seq_cst intentional
+    if (t > b) {
+      // Already empty: undo the reservation.
+      bottom_.store(b + 1, std::memory_order_seq_cst);  // mo: seq_cst intentional
+      return std::nullopt;
+    }
+    T v = slots_[static_cast<std::size_t>(b & mask_)].load(
+        std::memory_order_seq_cst);                    // mo: seq_cst intentional
+    if (t == b) {
+      // Last element: win it from concurrent thieves or concede.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst);        // mo: seq_cst intentional
+      bottom_.store(b + 1, std::memory_order_seq_cst); // mo: seq_cst intentional
+      if (!won) return std::nullopt;
+    }
+    return v;
+  }
+
+  /// Any thread: take the oldest item. nullopt when empty or when another
+  /// thief (or the owner's last-element pop) won the race — callers treat
+  /// both as "nothing stolen" and retry elsewhere.
+  std::optional<T> try_steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);       // mo: seq_cst intentional
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);  // mo: seq_cst intentional
+    if (t >= b) return std::nullopt;
+    T v = slots_[static_cast<std::size_t>(t & mask_)].load(
+        std::memory_order_seq_cst);                    // mo: seq_cst intentional
+    if (!top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst)) {    // mo: seq_cst intentional
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  // Indices are monotonically increasing 64-bit counters (never wrapped
+  // into the ring except at use), so a slot index can never be reused while
+  // a stale thief still holds its old `t` — the CAS on top_ fails instead
+  // (the classic ABA defense of the algorithm).
+  mc::atomic<std::int64_t> top_{0};
+  mc::atomic<std::int64_t> bottom_{0};
+  std::vector<mc::atomic<T>> slots_;
+  std::int64_t mask_ = 0;
+};
+
+}  // namespace mpx::task

@@ -36,6 +36,7 @@
 #include "mpx/core/async.hpp"
 #include "mpx/core/detail/request_impl.hpp"
 #include "mpx/core/progress_source.hpp"
+#include "mpx/core/wait_policy.hpp"
 #include "mpx/core/world.hpp"
 #include "mpx/dtype/pack_engine.hpp"
 #include "mpx/dtype/segment.hpp"
@@ -135,6 +136,11 @@ struct Vci {
   // not modeled protocol state (the queues they mirror are).
   std::atomic<std::int64_t> active_ops{0};  ///< in-flight p2p/coll requests — mpxlint: allow(mc-coverage)
   std::atomic<std::int64_t> hook_count{0};  ///< linked async+coll hooks — mpxlint: allow(mc-coverage)
+  /// Wait-ladder rung occupancy of blocking waits driving THIS VCI
+  /// (request.cpp wires every wait loop's backoff here). The adaptive
+  /// progress engine's controller reads the deltas: waiters stuck on the
+  /// yield/sleep rungs mean nobody's polling is productive — promote.
+  WaitLadderCounters wait_rungs;
 
   /// Compiled progress pipeline: one entry per registered ProgressSource,
   /// in registry order. The source/mask halves are immutable after make_vci

@@ -26,6 +26,8 @@ namespace core_detail {
 int vci_rank(const Vci& v) { return v.rank; }
 int vci_id(const Vci& v) { return v.id; }
 
+int vci_poll(Vci& v, unsigned mask) { return progress_test(v, mask); }
+
 Vci::~Vci() {
   // Release anything still owned at world teardown: unfinished hooks
   // (~AsyncThing runs their state deleters), never-matched unexpected

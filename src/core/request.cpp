@@ -26,9 +26,16 @@ int progress_for(RequestImpl* r) {
 WaitPolicy wait_policy_for(const RequestImpl* r) {
   if (r->world != nullptr) {
     const WorldConfig& cfg = r->world->config();
-    return WaitPolicy{cfg.wait_spin, cfg.wait_yield};
+    return WaitPolicy{cfg.wait_spin, cfg.wait_yield, cfg.wait_sleep_max_us};
   }
   return WaitPolicy{};
+}
+
+/// Rung-occupancy counters of the request's VCI (nullable: grequests with
+/// no VCI just skip the accounting). Every blocking wait charges its empty
+/// pauses here so the adaptive progress engine can see stuck waiters.
+core_detail::WaitLadderCounters* wait_rungs_for(const RequestImpl* r) {
+  return r->vci != nullptr ? &r->vci->wait_rungs : nullptr;
 }
 
 }  // namespace
@@ -36,7 +43,7 @@ WaitPolicy wait_policy_for(const RequestImpl* r) {
 Status Request::wait() {
   expects(valid(), "Request::wait: invalid request");
   RequestImpl* r = impl_.get();
-  WaitBackoff backoff{wait_policy_for(r)};
+  WaitBackoff backoff{wait_policy_for(r), wait_rungs_for(r)};
   while (!r->complete.load(std::memory_order_acquire)) {
     if (progress_for(r) != 0) {
       backoff.reset();
@@ -82,7 +89,7 @@ void Request::cancel() {
 
 Status wait_on_stream(Request& req, const Stream& stream) {
   expects(req.valid(), "wait_on_stream: invalid request");
-  WaitBackoff backoff{wait_policy_for(req.impl())};
+  WaitBackoff backoff{wait_policy_for(req.impl()), wait_rungs_for(req.impl())};
   while (!req.is_complete()) {
     if (stream_progress(stream) != 0) {
       backoff.reset();
@@ -94,8 +101,9 @@ Status wait_on_stream(Request& req, const Stream& stream) {
 }
 
 void wait_all(std::span<Request> reqs) {
-  WaitBackoff backoff{reqs.empty() ? WaitPolicy{}
-                                   : wait_policy_for(reqs.front().impl())};
+  WaitBackoff backoff{
+      reqs.empty() ? WaitPolicy{} : wait_policy_for(reqs.front().impl()),
+      reqs.empty() ? nullptr : wait_rungs_for(reqs.front().impl())};
   for (;;) {
     bool all = true;
     int made = 0;
@@ -146,7 +154,8 @@ bool test_all(std::span<Request> reqs) {
 
 std::size_t wait_any(std::span<Request> reqs) {
   expects(!reqs.empty(), "wait_any: empty request set");
-  WaitBackoff backoff{wait_policy_for(reqs.front().impl())};
+  WaitBackoff backoff{wait_policy_for(reqs.front().impl()),
+                      wait_rungs_for(reqs.front().impl())};
   for (;;) {
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       if (reqs[i].valid() && reqs[i].is_complete()) return i;

@@ -49,7 +49,23 @@ WorldConfig WorldConfig::from_env(int nranks) {
       static_cast<int>(b::cvar_int("MPX_POOL_UNEXP_CAP", 256));
   c.wait_spin = static_cast<int>(b::cvar_int("MPX_WAIT_SPIN", 200));
   c.wait_yield = static_cast<int>(b::cvar_int("MPX_WAIT_YIELD", 32));
+  c.wait_sleep_max_us =
+      static_cast<int>(b::cvar_int("MPX_WAIT_SLEEP_MAX", 64));
   c.progress_fair = b::cvar_bool("MPX_PROGRESS_FAIR", true);
+  c.progress_engine.epoch_us =
+      static_cast<int>(b::cvar_int("MPX_ENGINE_EPOCH_US", 500));
+  c.progress_engine.max_workers =
+      static_cast<int>(b::cvar_int("MPX_ENGINE_MAX_WORKERS", 2));
+  c.progress_engine.promote_app_polls =
+      static_cast<int>(b::cvar_int("MPX_ENGINE_PROMOTE_POLLS", 4));
+  c.progress_engine.dedicate_hit_rate =
+      b::cvar_double("MPX_ENGINE_DEDICATE_RATE", 0.5);
+  c.progress_engine.demote_hit_rate =
+      b::cvar_double("MPX_ENGINE_DEMOTE_RATE", 0.01);
+  c.progress_engine.hysteresis =
+      static_cast<int>(b::cvar_int("MPX_ENGINE_HYSTERESIS", 2));
+  c.progress_engine.deque_capacity =
+      static_cast<int>(b::cvar_int("MPX_ENGINE_DEQUE_CAP", 64));
   return c;
 }
 
@@ -365,6 +381,18 @@ std::vector<World::StageCounter> World::vci_stage_table(int rank,
     out.push_back(StageCounter{st.source->name(), st.mask, st.calls, st.hits});
   }
   return out;
+}
+
+World::WaitRungCounters World::vci_wait_rungs(int rank, int vci_id) const {
+  // Lock-free like the counters themselves: rungs are relaxed accounting,
+  // not synchronization.
+  const core_detail::WaitLadderCounters::Snapshot s =
+      vci_ptr(rank, vci_id)->wait_rungs.snapshot();
+  return WaitRungCounters{s.spin, s.yield, s.sleep};
+}
+
+std::int64_t World::vci_active_ops(int rank, int vci_id) const {
+  return vci_ptr(rank, vci_id)->active_ops.load(std::memory_order_relaxed);
 }
 
 World::MatchCounters World::vci_match_counters(int rank, int vci_id) const {

@@ -1,0 +1,135 @@
+// Model-check: the progress engine's work-stealing deque across ALL
+// interleavings.
+//
+// The two classic hazards of the Chase-Lev shape are (a) the steal-vs-pop
+// race on the last element — exactly one side may win it — and (b) the
+// empty-steal path, where a thief that observed a stale top must fail its
+// CAS instead of lifting a value a concurrent pop already took (the ABA
+// the monotonically increasing 64-bit indices defend against). Both are
+// driven here through mc::explore, so the invariants hold on every
+// schedule the shim-level seq_cst protocol admits, not just the ones the
+// OS scheduler produces.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "mpx/mc/mc.hpp"
+#include "mpx/task/steal_deque.hpp"
+
+#if MPX_MODEL_CHECK
+
+using mpx::task::StealDeque;
+namespace mc = mpx::mc;
+
+TEST(McEngineSteal, LastElementWonByExactlyOneSide) {
+  mc::Options opt;
+  opt.name = "steal_deque_last_element";
+  const mc::Result res = mc::explore(opt, [] {
+    StealDeque<int> dq(4);
+    mc::check(dq.try_push(42), "push into empty deque must succeed");
+
+    int stolen = 0;
+    mc::thread thief([&dq, &stolen] {
+      if (std::optional<int> v = dq.try_steal()) {
+        mc::check(*v == 42, "thief must only ever see the pushed value");
+        stolen = 1;
+      }
+    });
+
+    int popped = 0;
+    if (std::optional<int> v = dq.try_pop()) {
+      mc::check(*v == 42, "owner must only ever see the pushed value");
+      popped = 1;
+    }
+    thief.join();
+
+    mc::check(popped + stolen == 1,
+              "the last element goes to exactly one of pop/steal");
+    mc::check(!dq.try_pop().has_value(), "deque must be empty afterwards");
+    mc::check(!dq.try_steal().has_value(), "deque must be empty afterwards");
+  });
+  RecordProperty("summary", res.summary());
+  EXPECT_TRUE(res.ok()) << res.summary();
+  EXPECT_GT(res.schedules, 1) << "exploration must branch, not run once";
+}
+
+TEST(McEngineSteal, NoValueDuplicatedOrLostUnderConcurrentSteal) {
+  mc::Options opt;
+  opt.name = "steal_deque_owner_thief";
+  const mc::Result res = mc::explore(opt, [] {
+    StealDeque<int> dq(4);
+    constexpr int kN = 3;
+    for (int i = 1; i <= kN; ++i) {
+      mc::check(dq.try_push(int{i}), "capacity 4 holds 3 items");
+    }
+
+    // Sum check: every pushed value is taken exactly once across owner
+    // pops and thief steals — a double-take or a lost slot skews the sum.
+    int thief_sum = 0;
+    mc::thread thief([&dq, &thief_sum] {
+      for (int tries = 0; tries < 2; ++tries) {
+        if (std::optional<int> v = dq.try_steal()) thief_sum += *v;
+      }
+    });
+
+    int owner_sum = 0;
+    for (;;) {
+      std::optional<int> v = dq.try_pop();
+      if (!v.has_value()) break;
+      owner_sum += *v;
+    }
+    thief.join();
+
+    // The owner drains whatever the thief left; a failed last-element pop
+    // CAS concedes to the thief, so one retry pass settles any leftover.
+    while (std::optional<int> v = dq.try_pop()) owner_sum += *v;
+
+    mc::check(owner_sum + thief_sum == 1 + 2 + 3,
+              "each value taken exactly once");
+    mc::check(dq.empty(), "deque drained");
+  });
+  RecordProperty("summary", res.summary());
+  EXPECT_TRUE(res.ok()) << res.summary();
+  EXPECT_GT(res.schedules, 1);
+}
+
+TEST(McEngineSteal, EmptyStealNeverFabricatesAValue) {
+  // A thief racing the owner's push/pop of a single slot either gets that
+  // exact value once or nothing: a stale-top CAS must fail, never resurrect
+  // slot contents (the ABA probe — indices are monotonic, slots reused).
+  mc::Options opt;
+  opt.name = "steal_deque_empty_steal";
+  const mc::Result res = mc::explore(opt, [] {
+    StealDeque<int> dq(2);
+
+    int thief_got = 0, thief_val = 0;
+    mc::thread thief([&] {
+      if (std::optional<int> v = dq.try_steal()) {
+        thief_got = 1;
+        thief_val = *v;
+      }
+    });
+
+    // Owner: push 7, pop it, push 9 into the SAME ring slot, pop again.
+    mc::check(dq.try_push(7), "push 7");
+    int owner_sum = 0;
+    if (std::optional<int> v = dq.try_pop()) owner_sum += *v;
+    mc::check(dq.try_push(9), "push 9");
+    if (std::optional<int> v = dq.try_pop()) owner_sum += *v;
+    thief.join();
+
+    const int total = owner_sum + (thief_got != 0 ? thief_val : 0);
+    mc::check(total == 16, "7 and 9 each consumed exactly once");
+    if (thief_got != 0) {
+      mc::check(thief_val == 7 || thief_val == 9,
+                "a steal can only yield a really-pushed value");
+    }
+  });
+  RecordProperty("summary", res.summary());
+  EXPECT_TRUE(res.ok()) << res.summary();
+  EXPECT_GT(res.schedules, 1);
+}
+
+#else
+TEST(McEngineSteal, SkippedWithoutModelCheck) { GTEST_SKIP(); }
+#endif

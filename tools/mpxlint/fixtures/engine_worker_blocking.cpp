@@ -1,0 +1,82 @@
+// mpxlint fixture: progress-driver-shaped contract violations, mirroring
+// the adaptive engine's worker loop (src/task/progress_engine.cpp
+// ProgressEngine::worker_loop). A driver root may call the progress entry
+// points (vci_poll et al.) — that is its job — but it must stay
+// non-blocking and lock-free like any poll path. Two seeded bugs:
+//
+//   * drain_completions() blocks on wait_all while flushing finished
+//     slots — a stalled peer now stalls every VCI riding this worker's
+//     rotation (reached transitively: worker_loop -> rotate_once ->
+//     drain_completions);
+//   * lock_slot_vci() wraps the vci_poll call in a vci-ranked LockGuard:
+//     vci_poll acquires the VCI lock itself, so holding one across the
+//     call re-enters the progress engine.
+//
+// The clean poll_one() path shows the allowed boundary: a bare vci_poll
+// from a driver root is NOT a finding (PROGRESS_ENTRY_CALL_NAMES), even
+// though vci_poll is a blocking call for ordinary ProgressSource roots.
+//
+// Expected findings: progress-contract (one blocking-call path, one
+// forbidden-rank acquisition path; nothing for poll_one).
+
+namespace fix {
+
+enum class LockRank { none = 0, vci = 100 };
+
+struct InstrumentedMutex {
+  void lock();
+  void unlock();
+};
+
+template <class Mutex>
+struct LockGuard {
+  explicit LockGuard(Mutex& m);
+};
+
+struct Vci {
+  InstrumentedMutex mu{"vci", LockRank::vci};
+};
+
+int vci_poll(Vci& v, unsigned mask);
+void wait_all(int* reqs, int n);
+
+struct ProgressEngine {
+  struct Slot {
+    Vci* vci;
+    unsigned mask;
+    int pending[4];
+    int npending;
+  };
+
+  Slot* slots;
+  int nslots;
+
+  // Allowed boundary: driver roots may call progress entry points bare.
+  int poll_one(Slot& s) { return vci_poll(*s.vci, s.mask); }
+
+  void drain_completions(Slot& s) {
+    wait_all(s.pending, s.npending);  // blocking wait inside a driver loop
+    s.npending = 0;
+  }
+
+  int lock_slot_vci(Slot& s) {
+    LockGuard g(s.vci->mu);  // vci-ranked: vci_poll re-acquires it inside
+    return vci_poll(*s.vci, s.mask);
+  }
+
+  int rotate_once(int i) {
+    Slot& s = slots[i];
+    int made = poll_one(s);
+    if (s.npending != 0) drain_completions(s);
+    made += lock_slot_vci(s);
+    return made;
+  }
+
+  void worker_loop() {
+    for (int i = 0; i < nslots; ++i) {
+      rotate_once(i);
+    }
+  }
+};
+
+}  // namespace fix

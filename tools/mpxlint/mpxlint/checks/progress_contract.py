@@ -1,6 +1,11 @@
 """progress-contract: poll/idle must never block or re-enter progress.
 
-Roots are the poll/idle overrides of ProgressSource subclasses. From each
+Roots are the poll/idle overrides of ProgressSource subclasses, plus the
+external progress-driver loops in config.PROGRESS_DRIVER_ROOTS (the
+adaptive engine's worker loops, which drive compiled stage tables from
+their own threads). For driver roots the progress entry points themselves
+(config.PROGRESS_ENTRY_CALL_NAMES) are allowed boundaries — calling them
+is the driver's job — but the rest of the contract is identical. From each
 root the check walks the in-tree call graph (name-level; member calls
 resolve through receiver types, virtual calls expand to every in-model
 override in derived classes) and flags:
@@ -40,6 +45,11 @@ def _progress_roots(ctx) -> List[Function]:
             if fn.cls in source_classes and fn.name in ("poll", "idle")]
 
 
+def _driver_roots(ctx) -> List[Function]:
+    return [fn for fn in ctx.model.functions
+            if (fn.cls, fn.name) in config.PROGRESS_DRIVER_ROOTS]
+
+
 def _resolve_callees(ctx, caller: Function, call) -> List[Function]:
     """All in-model functions a call may dispatch to.
 
@@ -63,8 +73,9 @@ def _resolve_callees(ctx, caller: Function, call) -> List[Function]:
 
 def run(ctx) -> List[Finding]:
     findings: List[Finding] = []
-    roots = _progress_roots(ctx)
-    for root in roots:
+    roots = [(r, False) for r in _progress_roots(ctx)]
+    roots += [(r, True) for r in _driver_roots(ctx)]
+    for root, is_driver in roots:
         seen: Set[str] = set()
         # (function, path-so-far)
         stack: List[Tuple[Function, List[str]]] = [(root, [])]
@@ -91,6 +102,11 @@ def run(ctx) -> List[Finding]:
                         key=(f"{CHECK_ID}:rank:{_root_label(root)}:"
                              f"{label}:{a.expr}")))
             for call in fn.calls:
+                if is_driver and call.name in config.PROGRESS_ENTRY_CALL_NAMES:
+                    # Driving a progress entry point is what a driver root
+                    # is for; the entry acquires the VCI lock internally
+                    # and is not traversed further.
+                    continue
                 if call.name in config.BLOCKING_CALL_NAMES:
                     if not ctx.allowed(fn.file, call.line, CHECK_ID):
                         findings.append(Finding(

@@ -54,12 +54,16 @@ MODELED_FILES = (
     # and driven through every interleaving the suite explores.
     "include/mpx/coll/ir_cache.hpp",
     "src/coll/ir_exec.cpp",
+    # The progress engine's work-stealing deque — modeled by
+    # test_mc_engine_steal.cpp (steal-vs-pop last element, empty-steal ABA).
+    "include/mpx/task/steal_deque.hpp",
     # Fixture self-tests exercise the modeled-file rules on these. Listed
     # individually (not as a directory prefix) because the mc-coverage
     # inverse guard needs a fixture that is NOT in the modeled set
     # (mc_shim_unlisted.cpp) living in the same directory.
     "tools/mpxlint/fixtures/blocking_poll.cpp",
     "tools/mpxlint/fixtures/clean.cpp",
+    "tools/mpxlint/fixtures/engine_worker_blocking.cpp",
     "tools/mpxlint/fixtures/exec_blocking_poll.cpp",
     "tools/mpxlint/fixtures/rank_inversion.cpp",
     "tools/mpxlint/fixtures/raw_atomic_modeled.cpp",
@@ -77,6 +81,23 @@ BLOCKING_CALL_NAMES = {
     "wait_any",
     "wait_on_stream",
     "progress_until",
+    "progress_test",
+    "stream_progress",
+    "vci_poll",
+}
+
+# progress-contract: external progress-driver roots. These are thread loops
+# that drive progress from OUTSIDE a poll context (the adaptive engine's
+# workers), so calling a progress entry point is their whole job — the
+# names in PROGRESS_ENTRY_CALL_NAMES are allowed boundaries for them — but
+# everything else about the contract still holds: no blocking waits, no
+# vci/stream-ranked lock acquisitions (vci_poll takes the VCI lock itself;
+# holding one across the call re-enters the engine).
+PROGRESS_DRIVER_ROOTS = {
+    ("ProgressEngine", "worker_loop"),
+}
+PROGRESS_ENTRY_CALL_NAMES = {
+    "vci_poll",
     "progress_test",
     "stream_progress",
 }
@@ -108,6 +129,8 @@ INTERNALLY_SYNCED_TYPES = (
     "ProgressRegistry",
     "LockRank",
     "Coordinator",
+    "WaitLadderCounters",
+    "StealDeque",
 )
 
 # Return types of well-known accessor helpers, used by the textual engine

@@ -91,6 +91,27 @@ class FixtureTests(unittest.TestCase):
                             "retire_cursor" in f["message"] for f in hits),
                         f"missed the vci-ranked re-acquisition: {report}")
 
+    def test_engine_driver_violations_caught(self):
+        # The progress-driver shape (PR 9): the engine's worker loop may
+        # call vci_poll bare (allowed boundary), but a blocking wait two
+        # hops deep and a vci-ranked lock held across the poll are both
+        # contract violations.
+        code, report = run_lint("--check", "progress-contract",
+                                self.fixture("engine_worker_blocking.cpp"))
+        self.assertEqual(code, 1)
+        hits = findings_of(report, "progress-contract")
+        self.assertTrue(any("wait_all" in f["message"] and
+                            "drain_completions" in f["message"]
+                            for f in hits),
+                        f"missed the blocking wait in the driver: {report}")
+        self.assertTrue(any("rank vci" in f["message"] and
+                            "lock_slot_vci" in f["message"] for f in hits),
+                        f"missed the vci-ranked acquisition: {report}")
+        # The bare vci_poll in poll_one is the allowed boundary, not a
+        # finding.
+        self.assertFalse(any("poll_one" in f["message"] for f in hits),
+                         f"flagged the allowed entry-point call: {report}")
+
     def test_mc_shim_outside_modeled_set_caught(self):
         # The inverse guard: mc:: shims in a file absent from
         # config.MODELED_FILES mean the protocol is never explored.
