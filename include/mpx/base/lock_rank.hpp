@@ -11,12 +11,14 @@
 // The rank order mirrors the architecture's locking model (see
 // docs/architecture.md, "Threading model & lock hierarchy"):
 //
-//   vci (100)  <  stream (200)  <  task_queue (300)  <  transport (400)
-//                                                   <  transport_channel (410)
+//   control (50)  <  vci (100)  <  stream (200)  <  task_queue (300)
+//                 <  transport (400)  <  transport_channel (410)
 //
-// i.e. a VCI lock may be held while taking the VCI-table lock, a task-class
-// lock, or a transport lock — never the reverse. Unranked locks
-// (LockRank::none) are exempt: they neither push entries nor get checked.
+// i.e. the control-plane mutex may be held while driving progress (which
+// takes VCI locks), and a VCI lock may be held while taking the VCI-table
+// lock, a task-class lock, or a transport lock — never the reverse.
+// Unranked locks (LockRank::none) are exempt: they neither push entries nor
+// get checked.
 //
 // Compiled in when MPX_LOCK_RANK_CHECKS is nonzero (the default; the
 // MPX_LOCK_RANK_CHECKS=OFF CMake option defines it to 0 for release builds
@@ -39,6 +41,7 @@ namespace mpx::base {
 /// increasing rank. Gaps leave room for future layers.
 enum class LockRank : std::int16_t {
   none = 0,                ///< unranked: exempt from checking
+  control = 50,            ///< World control plane (topology/lifecycle swaps)
   vci = 100,               ///< core VCI mutex (the progress engine lock)
   stream = 200,            ///< per-rank VCI-table / stream-registry lock
   task_queue = 300,        ///< task-layer locks (TaskQueue, RequestNotifier)

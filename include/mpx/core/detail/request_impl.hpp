@@ -149,6 +149,12 @@ struct RequestImpl : base::RefCounted {
   bool uses_staging = false;  ///< send_src points into `staging`
   SendProto proto = SendProto::none;
   std::uint64_t peer_cookie = 0;  ///< receiver cookie echoed into data chunks
+  /// Pipeline geometry pinned at CTS time from the then-routed carrier's
+  /// limits. Chunk injection and completion accounting use ONLY these, so a
+  /// mid-rendezvous topology swap (new carrier, new limits) cannot desync
+  /// the sender's acked-bytes reconstruction from the chunks it injected.
+  std::uint64_t pipe_chunk = 0;
+  std::int32_t pipe_window = 1;
 
   // --- completion hook (continuations, collective internals) ---
   using CompleteFn = void (*)(RequestImpl*, void* arg);

@@ -6,6 +6,14 @@
 // per-rank VCI tables. Rank code runs on caller-provided threads
 // ("threads-as-ranks"); all rank state is explicit, so one process can
 // host several Worlds.
+//
+// Internally a World is two layers (docs/architecture.md, "Control plane
+// vs datapath"): a CONTROL PLANE (comm/stream lifecycle, context-id
+// allocation, transport ownership, topology publication — mutates under
+// the ranked control mutex) and a DATAPATH (VCI tables, matching, progress
+// stage tables — reads only immutable state plus one acquire-loaded
+// TopologySnapshot per poll/send, never a lock). The facade below fronts
+// both.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +37,8 @@ namespace core_detail {
 struct RankCtx;
 struct Vci;
 class ProgressRegistry;
+class TopologyHandle;
+struct TopologySnapshot;
 }  // namespace core_detail
 
 namespace transport {
@@ -158,8 +168,9 @@ class World : public std::enable_shared_from_this<World> {
   transport::Transport* find_transport(std::string_view name) const;
 
   /// The transport carrying (src, dst) traffic: first transport in list
-  /// order whose reaches() claims the pair. Compiled into a flat table at
-  /// World construction — O(1), no virtual dispatch on lookup.
+  /// order whose reaches() claims the pair. Compiled into a flat table
+  /// carried by the published TopologySnapshot — O(1), no virtual dispatch
+  /// on lookup (one snapshot acquire-load plus an indexed read).
   transport::Transport& route(int src, int dst) const;
 
   /// True when src and dst live on the same simulated node (shm path).
@@ -172,15 +183,38 @@ class World : public std::enable_shared_from_this<World> {
   /// WorldConfig::trace_capacity / MPX_TRACE_CAPACITY was set.
   trace::Tracer& tracer();
 
+  // --- topology control plane (ROADMAP items 1 and 5 build on this) ---
+
+  /// Epoch of the currently-published TopologySnapshot (starts at 1, bumps
+  /// on every control-plane publication — two per swap: fence + cutover).
+  std::uint64_t topology_epoch() const;
+
+  /// TEST/INTERNAL control-plane entry point: re-route the (a, b) rank pair
+  /// (both directions) onto transport `t`, which must be one of this
+  /// world's transports and must reach both directions of the pair. Safe to
+  /// call mid-traffic from any non-rank thread: the pair is fenced (new
+  /// sends park in order), drained (in-flight messages on the old carrier
+  /// delivered, driven by this thread), then cut over — zero messages
+  /// lost, duplicated, or reordered. Serialized against other swaps by the
+  /// control mutex. NOT poll-safe: never call from a progress callback
+  /// (mpxlint's progress-contract check enforces this). This is the
+  /// mechanism ROADMAP item 5's join/leave and item 1's reconnect FSM will
+  /// drive.
+  void swap_topology_for_test(int a, int b, transport::Transport& t);
+
   // --- internal access (runtime layers; not for applications) ---
   core_detail::RankCtx& rank_ctx(int rank);
   core_detail::Vci& vci(int rank, int vci_id);
+  /// The datapath's topology publication point (TopoRef pins through it).
+  const core_detail::TopologyHandle& topology() const;
   /// Allocate `count` consecutive matching-context ids (comm management).
   std::int32_t alloc_context_ids(int count);
 
  private:
   explicit World(WorldConfig cfg);
-  /// Locked VCI-table lookup (acquires the rank's vci-table mutex).
+  /// Lock-free VCI-table lookup: two acquire loads (published table length,
+  /// then the slot pointer) — no lock since PR 5; writers serialize on the
+  /// rank's vci-table mutex and publish with release stores.
   core_detail::Vci* vci_ptr(int rank, int vci_id) const;
   struct State;
   std::unique_ptr<State> s_;

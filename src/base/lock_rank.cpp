@@ -20,6 +20,7 @@ namespace mpx::base {
 const char* lock_rank_name(LockRank r) noexcept {
   switch (r) {
     case LockRank::none: return "none";
+    case LockRank::control: return "control";
     case LockRank::vci: return "vci";
     case LockRank::stream: return "stream";
     case LockRank::task_queue: return "task_queue";
@@ -119,7 +120,7 @@ void dump_frames(void* const* frames, int n, const char* what) {
                static_cast<int>(conflicting.rank), conflicting.lock);
   std::fprintf(stderr,
                "lock ranks must strictly increase within a thread "
-               "(vci < stream < task_queue < transport); see "
+               "(control < vci < stream < task_queue < transport); see "
                "docs/architecture.md \"Threading model & lock hierarchy\"\n");
   std::fprintf(stderr, "held ranked locks (acquisition order):\n");
   for (std::size_t i = 0; i < t_held.n; ++i) {
@@ -226,6 +227,7 @@ namespace mpx::base {
 const char* lock_rank_name(LockRank r) noexcept {
   switch (r) {
     case LockRank::none: return "none";
+    case LockRank::control: return "control";
     case LockRank::vci: return "vci";
     case LockRank::stream: return "stream";
     case LockRank::task_queue: return "task_queue";

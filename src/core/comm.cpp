@@ -2,6 +2,13 @@
 // Management operations are collective: every member must call; a
 // Coordinator rendezvous gathers the per-member inputs, the last arrival
 // builds the result, and everyone leaves with its own view.
+//
+// Layer note: communicator construction is CONTROL-PLANE work — context-id
+// allocation goes through World::alloc_context_ids (the ranked control
+// mutex). The p2p entry points below it are pure datapath: they resolve
+// their VCI and route through that VCI's pinned TopologySnapshot, never a
+// control-plane lock (see "Control plane vs datapath" in
+// docs/architecture.md).
 #include <algorithm>
 
 #include "internal.hpp"

@@ -10,11 +10,14 @@
 // happens under it. Operations issued from inside poll callbacks re-enter
 // the same lock (hence recursive), matching MPICH's owner-tracked VCI locks.
 // Transports have their own fine-grained spinlocks; lock order is always
-// VCI -> vci-table -> transport and never the reverse — enforced at runtime
-// by the lock-rank validator (base/lock_rank.hpp) and documented in
-// docs/architecture.md ("Threading model & lock hierarchy"). Fields guarded
-// by `mu` carry MPX_GUARDED_BY annotations checked by clang -Wthread-safety
-// (the `thread-safety` CMake preset).
+// control -> VCI -> vci-table -> transport and never the reverse (the
+// control-plane mutex ranks BELOW the VCI locks because topology swaps
+// drive progress — and therefore take VCI locks — while holding it) —
+// enforced at runtime by the lock-rank validator (base/lock_rank.hpp) and
+// documented in docs/architecture.md ("Threading model & lock hierarchy",
+// "Control plane vs datapath"). Fields guarded by `mu` carry MPX_GUARDED_BY
+// annotations checked by clang -Wthread-safety (the `thread-safety` CMake
+// preset).
 #pragma once
 
 #include <any>
@@ -36,6 +39,7 @@
 #include "mpx/core/async.hpp"
 #include "mpx/core/detail/request_impl.hpp"
 #include "mpx/core/progress_source.hpp"
+#include "mpx/core/topology.hpp"
 #include "mpx/core/wait_policy.hpp"
 #include "mpx/core/world.hpp"
 #include "mpx/dtype/pack_engine.hpp"
@@ -80,6 +84,15 @@ struct LmtWork {
   std::uint64_t sender_cookie = 0;
   std::int32_t sender_rank = -1;
   std::int32_t sender_vci = 0;
+};
+
+/// A send parked by route_send while its (src, dst) pair is fenced
+/// mid-topology-swap. Flushed (FIFO) by the owning VCI's next progress call
+/// after the cutover snapshot lands. `cookie` is the deferred-completion
+/// cookie the eventual injection must carry (0 = fire-and-forget).
+struct ParkedSend {
+  transport::Msg msg;
+  std::uint64_t cookie = 0;
 };
 
 /// One virtual communication interface: the serial execution context behind
@@ -129,6 +142,25 @@ struct Vci {
   // the VCI is published; the sink itself must only be *invoked* under mu).
   // mpxlint: allow(tsa-ratchet) pointer immutable after publish
   std::unique_ptr<transport::TransportSink> sink;
+
+  // --- control-plane / datapath seam (topology.hpp) ---
+  /// Snapshot pinned for the duration of the current critical section (set
+  /// by TopoRef at the datapath entry points, reset when the outermost
+  /// TopoRef unwinds). Re-entrant sections reuse the pin, so every
+  /// poll/send performs exactly ONE acquire-load.
+  const TopologySnapshot* topo_cache MPX_GUARDED_BY(mu) = nullptr;
+  /// Quiescence counter: the epoch of the last snapshot this VCI pinned
+  /// (release store in topology_pin; the control plane's grace period
+  /// acquire-reads it to skip the lock-pass — see topology.hpp).
+  mc::atomic<std::uint64_t> topo_epoch{0};
+  /// Sends parked while their pair is fenced mid-swap, in send order.
+  std::list<ParkedSend> fence_parked MPX_GUARDED_BY(mu);
+  /// Completion cookies owed by THIS side: the routed carrier reported the
+  /// injection locally complete (send() returned true), so no transport
+  /// completion event will ever fire — progress_test synthesizes
+  /// on_send_complete for them. This is what lets a protocol started on a
+  /// cap_send_cq carrier finish on one without a CQ after a swap.
+  std::vector<std::uint64_t> synth_cq MPX_GUARDED_BY(mu);
 
   // Accounting.
   std::uint64_t progress_calls MPX_GUARDED_BY(mu) = 0;
@@ -247,6 +279,55 @@ struct CommImpl {
 };
 
 // ---- helpers shared across core translation units ----
+
+/// RAII topology pin for one VCI critical section. The outermost TopoRef at
+/// a datapath entry point (progress_test, isend/irecv/imrecv) performs the
+/// section's single acquire-load (topology_pin) into v.topo_cache; nested
+/// sections (re-entrant progress from poll callbacks) find the cache set
+/// and reuse it, loading nothing. Handlers below the entry points read
+/// *v.topo_cache directly.
+class TopoRef {
+ public:
+  explicit TopoRef(Vci& v) MPX_REQUIRES(v.mu)
+      : v_(v), outer_(v.topo_cache == nullptr) {
+    if (outer_) {
+      v.topo_cache = topology_pin(v.world->topology(), v.topo_epoch);
+    }
+  }
+  ~TopoRef() MPX_NO_THREAD_SAFETY_ANALYSIS {
+    if (outer_) v_.topo_cache = nullptr;
+  }
+  TopoRef(const TopoRef&) = delete;
+  TopoRef& operator=(const TopoRef&) = delete;
+
+  const TopologySnapshot& operator*() const MPX_NO_THREAD_SAFETY_ANALYSIS {
+    return *v_.topo_cache;
+  }
+
+ private:
+  Vci& v_;
+  const bool outer_;
+};
+
+/// Send `m` over the pinned snapshot's carrier for its (src, dst) pair —
+/// or park it (Vci::fence_parked) while the pair is fenced mid-swap. A
+/// nonzero `cookie` whose injection completes locally (send() returned
+/// true: no transport event will ever fire) is synthesized through
+/// Vci::synth_cq on the next progress call. Requires a live TopoRef pin.
+void route_send(Vci& v, transport::Msg&& m, std::uint64_t cookie)
+    MPX_REQUIRES(v.mu);
+
+/// Zero-envelope eager variant: copies `payload` before returning in BOTH
+/// outcomes (straight into transport storage when clear, into an owned
+/// parked Msg when fenced), so an eager-local send stays locally complete
+/// at initiation across a swap. Requires a live TopoRef pin.
+void route_send_eager(Vci& v, const transport::MsgHeader& h,
+                      base::ConstByteSpan payload) MPX_REQUIRES(v.mu);
+
+/// Flush parked sends whose pair is no longer fenced, oldest first,
+/// stopping at the first still-fenced head (conservative cross-pair FIFO —
+/// fences are rare and short). Returns nonzero when anything flushed.
+int flush_parked(Vci& v) MPX_REQUIRES(v.mu);
 
 /// Fill status, fire the completion hook, then publish completion (release).
 /// Must run under the request's VCI lock (or before the request is visible;

@@ -39,6 +39,15 @@ Vci::~Vci() {
   drop_hooks(coll_hooks);
   while (auto t = inbox_asyncs.try_pop()) delete *t;
   while (auto t = inbox_coll.try_pop()) delete *t;
+  // Sends still parked behind a fence and completion events never
+  // synthesized both carry protocol references; adopt-and-drop them so a
+  // world torn down mid-swap doesn't leak the requests.
+  for (ParkedSend& p : fence_parked) {
+    if (p.cookie != 0) base::Ref<RequestImpl> drop = from_cookie(p.cookie);
+  }
+  for (std::uint64_t c : synth_cq) {
+    base::Ref<RequestImpl> drop = from_cookie(c);
+  }
   while (UnexpMsg* u = unexpected.pop_front_any()) unexp_pool.release(u);
   while (RequestImpl* r = posted.pop_any()) {
     base::Ref<RequestImpl> drop(r);  // adopt the posted-queue reference
@@ -226,6 +235,11 @@ void register_transport_sources(
 
 int progress_test(Vci& v, unsigned mask) {
   base::LockGuard<base::InstrumentedMutex> g(v.mu);
+  // The section's ONE topology acquire-load (re-entrant calls from poll
+  // callbacks find the cache set and load nothing). Every routing decision
+  // below — transport polls delivering arrivals, handlers replying, the
+  // fence-parked flush — resolves against this pin.
+  TopoRef topo(v);
   ++v.progress_calls;
 
   // Empty-stage fast path: hook_count covers linked hooks AND mailbox
@@ -238,6 +252,24 @@ int progress_test(Vci& v, unsigned mask) {
   if (v.hook_count.load(std::memory_order_relaxed) != 0) {
     drain_inbox(v, v.inbox_coll, v.coll_hooks);
     drain_inbox(v, v.inbox_asyncs, v.asyncs);
+  }
+
+  // Topology-swap follow-up work, ahead of the stage scan. Both lists are
+  // empty except around a swap, so this is two branch tests on the hot
+  // path. (1) Flush sends parked while their pair was fenced. (2) Deliver
+  // completion events the carrier finished locally (synthesized by
+  // route_send; see Vci::synth_cq) — swap-out loop because a completion
+  // handler may inject follow-up chunks that synthesize again.
+  {
+    int swept = 0;
+    if (!v.fence_parked.empty()) swept |= flush_parked(v);
+    while (!v.synth_cq.empty()) {
+      std::vector<std::uint64_t> cq;
+      cq.swap(v.synth_cq);
+      for (std::uint64_t c : cq) v.sink->on_send_complete(c);
+      swept = 1;
+    }
+    if (swept != 0) return swept;
   }
 
   // Scan the compiled stage table with early exit on first progress,

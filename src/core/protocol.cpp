@@ -20,7 +20,11 @@
 //                                        with a bounded in-flight window
 //                                        (§2.1 pipeline)
 //
-// All handlers run under the polling VCI's lock.
+// All handlers run under the polling VCI's lock, with the VCI's topology
+// pin live (TopoRef at the progress/post entry points): routing decisions
+// read *v.topo_cache, and every outbound message leaves through
+// route_send / route_send_eager so a fenced pair parks instead of
+// injecting (topology.hpp, "ROUTE FENCING").
 #include <algorithm>
 #include <cstring>
 
@@ -37,10 +41,20 @@ RequestImpl* peek_cookie(std::uint64_t c) {
   return reinterpret_cast<RequestImpl*>(c);
 }
 
-/// Send a message over the transport routing the (src, dst) pair. `cookie`
-/// requests a sender-side completion event (cap_send_cq transports).
-void route(World& w, Msg&& m, std::uint64_t cookie) {
-  w.route(m.h.src_rank, m.h.dst_rank).send(std::move(m), cookie);
+/// Inject `m` on its pair's carrier, counting it in flight and synthesizing
+/// the completion event transports that finish locally never raise
+/// (transport.hpp send() contract: returning true means no event will ever
+/// fire — without the synthesis, a cookie'd protocol started on a
+/// cap_send_cq carrier could never finish on a carrier without a CQ after
+/// a swap).
+void inject(Vci& v, const TopologySnapshot& topo, Msg&& m,
+            std::uint64_t cookie) MPX_REQUIRES(v.mu) {
+  const int src = m.h.src_rank;
+  const int dst = m.h.dst_rank;
+  topo.inflight_add(src, dst, +1);
+  if (topo.carrier(src, dst)->send(std::move(m), cookie) && cookie != 0) {
+    v.synth_cq.push_back(cookie);
+  }
 }
 
 /// Pop the oldest posted receive matching the header (MPI FIFO order, bin
@@ -128,7 +142,7 @@ void start_rndv_recv(Vci& v, base::Ref<RequestImpl> rreq, const MsgHeader& h)
   // One reference rides the cookie until the final data chunk adopts it;
   // our own (rreq) drops at scope end.
   cts.h.recver_cookie = cookie_of(rp);
-  route(*v.world, std::move(cts), 0);
+  route_send(v, std::move(cts), 0);
 }
 
 /// Pipeline/rendezvous chunk size for a message of `total` bytes, per the
@@ -140,13 +154,13 @@ std::uint64_t chunk_bytes(const transport::TransportLimits& lim,
              : total;
 }
 
-/// Inject the next data chunk of a rendezvous send.
-void inject_next_chunk(Vci& v, RequestImpl* sreq) {
-  const transport::TransportLimits& lim =
-      v.world->route(sreq->self, sreq->peer).limits();
-  const std::uint64_t chunk = chunk_bytes(lim, sreq->total_bytes);
-  const std::uint64_t len =
-      std::min<std::uint64_t>(chunk, sreq->total_bytes - sreq->next_offset);
+/// Inject the next data chunk of a rendezvous send. Geometry comes from the
+/// request's PINNED pipe_chunk/pipe_window (set once at CTS time), not the
+/// current route: a mid-rendezvous topology swap must not change the chunk
+/// size the completion handler reconstructs acked bytes with.
+void inject_next_chunk(Vci& v, RequestImpl* sreq) MPX_REQUIRES(v.mu) {
+  const std::uint64_t len = std::min<std::uint64_t>(
+      sreq->pipe_chunk, sreq->total_bytes - sreq->next_offset);
   Msg data;
   data.h.kind = MsgKind::data;
   data.h.src_rank = sreq->self;
@@ -160,7 +174,7 @@ void inject_next_chunk(Vci& v, RequestImpl* sreq) {
       sreq->send_src + sreq->next_offset, static_cast<std::size_t>(len)));
   sreq->next_offset += len;
   ++sreq->chunks_inflight;
-  route(*v.world, std::move(data), cookie_of(sreq));
+  route_send(v, std::move(data), cookie_of(sreq));
 }
 
 // ---- inbound handlers (under the VCI lock) ----
@@ -210,19 +224,23 @@ void handle_rts(Vci& v, Msg&& m) MPX_REQUIRES(v.mu) {
   park_unexpected(v, std::move(m));
 }
 
-void handle_cts(Vci& v, Msg&& m) {
+void handle_cts(Vci& v, Msg&& m) MPX_REQUIRES(v.mu) {
   trace_emit(v, trace::Event::cts, m.h.src_rank, m.h.tag, m.h.total_bytes);
   // Adopt the RTS reference; the injection cookies below keep sreq alive.
   base::Ref<RequestImpl> rts_ref = from_cookie(m.h.sender_cookie);
   RequestImpl* sreq = rts_ref.get();
   ensures(sreq->proto == SendProto::rndv, "cts: unexpected protocol");
   sreq->peer_cookie = m.h.recver_cookie;
+  // Pin the pipeline geometry NOW, from the currently-routed carrier (for a
+  // fenced pair that is already the pending new one). Every later chunk and
+  // completion event uses these frozen values.
   const transport::TransportLimits& lim =
-      v.world->route(sreq->self, sreq->peer).limits();
-  const int window =
+      (*v.topo_cache).carrier(sreq->self, sreq->peer)->limits();
+  sreq->pipe_chunk = chunk_bytes(lim, sreq->total_bytes);
+  sreq->pipe_window =
       sreq->total_bytes > lim.pipeline_min ? lim.pipeline_inflight : 1;
   while (sreq->next_offset < sreq->total_bytes &&
-         sreq->chunks_inflight < window) {
+         sreq->chunks_inflight < sreq->pipe_window) {
     inject_next_chunk(v, sreq);
   }
 }
@@ -271,27 +289,24 @@ class VciSink final : public transport::TransportSink {
   explicit VciSink(Vci& v) : v_(v) {}
 
   void on_msg(Msg&& m) override MPX_REQUIRES(v_.mu) {
-    switch (m.h.kind) {
-      case MsgKind::eager: handle_eager(v_, std::move(m)); break;
-      case MsgKind::rts: handle_rts(v_, std::move(m)); break;
-      case MsgKind::cts: handle_cts(v_, std::move(m)); break;
-      case MsgKind::data: handle_data(v_, std::move(m)); break;
-      case MsgKind::ack: handle_ack(v_, std::move(m)); break;
-    }
+    arrived(m.h);
+    dispatch(std::move(m));
   }
 
   void on_msg_inline(const MsgHeader& h, base::ConstByteSpan payload)
       override MPX_REQUIRES(v_.mu) {
+    arrived(h);
     if (h.kind == MsgKind::eager) {
       handle_eager_inline(v_, h, payload);
       return;
     }
     // Control messages (rts/cts/ack) are header-only; data chunks never
-    // arrive inline on shm. Materialize for the regular handlers.
+    // arrive inline on shm. Materialize for the regular handlers —
+    // dispatch(), not on_msg(): the arrival was already counted above.
     Msg m;
     m.h = h;
     m.payload = base::Buffer::copy_of(payload);
-    on_msg(std::move(m));
+    dispatch(std::move(m));
   }
 
   void on_send_complete(std::uint64_t cookie) override MPX_REQUIRES(v_.mu) {
@@ -303,17 +318,15 @@ class VciSink final : public transport::TransportSink {
         complete_request(sreq, Err::success);
         break;
       case SendProto::rndv: {
-        const transport::TransportLimits& lim =
-            v_.world->route(sreq->self, sreq->peer).limits();
-        const std::uint64_t chunk = chunk_bytes(lim, sreq->total_bytes);
+        // Reconstruct acked bytes from the PINNED geometry (handle_cts):
+        // a completion event always covers one injected chunk, and every
+        // chunk but the last is exactly pipe_chunk bytes.
         const std::uint64_t acked = std::min<std::uint64_t>(
-            chunk, sreq->total_bytes - sreq->bytes_moved);
+            sreq->pipe_chunk, sreq->total_bytes - sreq->bytes_moved);
         sreq->bytes_moved += acked;
         --sreq->chunks_inflight;
-        const int window =
-            sreq->total_bytes > lim.pipeline_min ? lim.pipeline_inflight : 1;
         while (sreq->next_offset < sreq->total_bytes &&
-               sreq->chunks_inflight < window) {
+               sreq->chunks_inflight < sreq->pipe_window) {
           inject_next_chunk(v_, sreq);
         }
         if (sreq->bytes_moved >= sreq->total_bytes) {
@@ -328,10 +341,70 @@ class VciSink final : public transport::TransportSink {
   }
 
  private:
+  /// Exactly-once in-flight accounting for one arrival, regardless of
+  /// which entry point it came through (on_msg_inline must NOT forward to
+  /// on_msg, or a materialized control message would decrement twice).
+  void arrived(const MsgHeader& h) MPX_REQUIRES(v_.mu) {
+    (*v_.topo_cache).inflight_add(h.src_rank, h.dst_rank, -1);
+  }
+
+  void dispatch(Msg&& m) MPX_REQUIRES(v_.mu) {
+    switch (m.h.kind) {
+      case MsgKind::eager: handle_eager(v_, std::move(m)); break;
+      case MsgKind::rts: handle_rts(v_, std::move(m)); break;
+      case MsgKind::cts: handle_cts(v_, std::move(m)); break;
+      case MsgKind::data: handle_data(v_, std::move(m)); break;
+      case MsgKind::ack: handle_ack(v_, std::move(m)); break;
+    }
+  }
+
   Vci& v_;
 };
 
 }  // namespace
+
+void route_send(Vci& v, Msg&& m, std::uint64_t cookie) {
+  const TopologySnapshot& topo = *v.topo_cache;
+  // Conservative cross-pair FIFO: once anything is parked on this VCI, park
+  // everything behind it — fences are rare and short, and flush_parked
+  // restores order the moment the head's pair unfences.
+  if (topo.fenced(m.h.src_rank, m.h.dst_rank) || !v.fence_parked.empty()) {
+    v.fence_parked.push_back(ParkedSend{std::move(m), cookie});
+    return;
+  }
+  inject(v, topo, std::move(m), cookie);
+}
+
+void route_send_eager(Vci& v, const MsgHeader& h, base::ConstByteSpan payload) {
+  const TopologySnapshot& topo = *v.topo_cache;
+  if (topo.fenced(h.src_rank, h.dst_rank) || !v.fence_parked.empty()) {
+    // The zero-envelope contract says the payload is copied before we
+    // return (the caller completes the request at initiation), so parking
+    // must materialize an owned message. It flushes through send() — every
+    // transport accepts an owned eager Msg.
+    Msg m;
+    m.h = h;
+    m.payload = base::pooled_copy(payload);
+    v.fence_parked.push_back(ParkedSend{std::move(m), 0});
+    return;
+  }
+  topo.inflight_add(h.src_rank, h.dst_rank, +1);
+  topo.carrier(h.src_rank, h.dst_rank)->send_eager(h, payload, 0);
+}
+
+int flush_parked(Vci& v) {
+  const TopologySnapshot& topo = *v.topo_cache;
+  int made = 0;
+  while (!v.fence_parked.empty()) {
+    ParkedSend& head = v.fence_parked.front();
+    if (topo.fenced(head.msg.h.src_rank, head.msg.h.dst_rank)) break;
+    ParkedSend p = std::move(head);
+    v.fence_parked.pop_front();
+    inject(v, topo, std::move(p.msg), p.cookie);
+    made = 1;
+  }
+  return made;
+}
 
 std::unique_ptr<transport::TransportSink> make_vci_sink(Vci& v) {
   return std::make_unique<VciSink>(v);
@@ -364,7 +437,7 @@ void lmt_progress(Vci& v, int* made_progress) {
       ack.h.src_vci = v.id;
       ack.h.dst_vci = w.sender_vci;
       ack.h.sender_cookie = w.sender_cookie;
-      route(*v.world, std::move(ack), 0);
+      route_send(v, std::move(ack), 0);
       rreq->status.count_bytes = std::min<std::uint64_t>(w.total, cap);
       complete_request(rreq, w.total > cap ? Err::truncate : Err::success);
       it = v.lmt.erase(it);
@@ -418,11 +491,15 @@ Request isend_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
   m.h.total_bytes = r->total_bytes;
 
   // Select the message mode from the routed transport's capabilities and
-  // limits — the protocol layer never names a concrete transport.
-  transport::Transport& t = w.route(self, peer);
+  // limits — the protocol layer never names a concrete transport. Routing
+  // resolves under the VCI lock through the section's topology pin, so the
+  // carrier consulted is exactly the one (or, mid-swap, the pending one)
+  // the message leaves through.
+  base::LockGuard<base::InstrumentedMutex> g(v.mu);
+  TopoRef topo(v);
+  transport::Transport& t = *(*topo).carrier(self, peer);
   const unsigned caps = t.caps();
   const transport::TransportLimits& lim = t.limits();
-  base::LockGuard<base::InstrumentedMutex> g(v.mu);
   const bool can_eager =
       !sync && r->total_bytes <= lim.eager_max &&
       ((caps & transport::cap_eager_local) != 0 ||
@@ -433,26 +510,27 @@ Request isend_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
     if ((caps & transport::cap_eager_local) != 0) {
       r->proto = SendProto::eager_local;
       // Zero-envelope: the payload is copied straight from the user (or
-      // staging) buffer into transport storage before send_eager returns,
-      // so the operation is locally complete even when the send parks.
-      t.send_eager(m.h,
-                   base::ConstByteSpan(
-                       r->send_src, static_cast<std::size_t>(r->total_bytes)),
-                   0);
+      // staging) buffer before route_send_eager returns — into transport
+      // storage when the pair is clear, into an owned parked message when
+      // fenced — so the operation is locally complete either way.
+      route_send_eager(v, m.h,
+                       base::ConstByteSpan(
+                           r->send_src,
+                           static_cast<std::size_t>(r->total_bytes)));
       r->status.count_bytes = r->total_bytes;
       complete_request(r, Err::success);
     } else if (r->total_bytes <= lim.lightweight_max) {
       r->proto = SendProto::light;
       m.payload = base::pooled_copy(base::ConstByteSpan(
           r->send_src, static_cast<std::size_t>(r->total_bytes)));
-      t.send(std::move(m), 0);
+      route_send(v, std::move(m), 0);
       r->status.count_bytes = r->total_bytes;
       complete_request(r, Err::success);
     } else {
       r->proto = SendProto::eager_cq;
       m.payload = base::pooled_copy(base::ConstByteSpan(
           r->send_src, static_cast<std::size_t>(r->total_bytes)));
-      t.send(std::move(m), cookie_of(r));
+      route_send(v, std::move(m), cookie_of(r));
     }
   } else {
     m.h.kind = MsgKind::rts;
@@ -465,7 +543,7 @@ Request isend_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
     } else {
       r->proto = SendProto::rndv;
     }
-    t.send(std::move(m), 0);
+    route_send(v, std::move(m), 0);
   }
   trace_emit(v, trace::Event::post_send, dst, tag, r->total_bytes,
              static_cast<std::uint64_t>(r->proto));
@@ -498,6 +576,9 @@ Request irecv_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
   v.active_ops.fetch_add(1, std::memory_order_relaxed);
 
   base::LockGuard<base::InstrumentedMutex> g(v.mu);
+  // Pin before touching the unexpected queue: matching an RTS starts the
+  // rendezvous reply (CTS), which routes.
+  TopoRef topo(v);
   // Check the unexpected queue first (oldest eligible arrival).
   if (UnexpMsg* hit =
           v.unexpected.pop(r->context_id, r->match_src, r->match_tag);
@@ -539,6 +620,8 @@ Request imrecv_impl(const std::shared_ptr<CommImpl>& comm, int my_rank,
   v.active_ops.fetch_add(1, std::memory_order_relaxed);
 
   base::LockGuard<base::InstrumentedMutex> g(v.mu);
+  // Same as irecv: a claimed RTS replies with a CTS, which routes.
+  TopoRef topo(v);
   if (u->msg.h.kind == MsgKind::eager) {
     deliver_eager(r, u->msg.h, u->msg.payload.span());
   } else {

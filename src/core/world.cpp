@@ -1,16 +1,13 @@
+// World facade: configuration parsing and the thin public accessors that
+// don't belong to either layer. The substance lives in control_plane.cpp
+// (lifecycle + topology publication) and datapath.cpp (lock-free reads);
+// world_layers.hpp defines the split.
 #include "mpx/core/world.hpp"
 
-#include <algorithm>
-
-#include "internal.hpp"
 #include "mpx/base/cvar.hpp"
-#include "mpx/base/log.hpp"
-#include "mpx/transport/builtin.hpp"
+#include "world_layers.hpp"
 
 namespace mpx {
-
-using core_detail::RankCtx;
-using core_detail::Vci;
 
 WorldConfig WorldConfig::from_env(int nranks) {
   namespace b = base;
@@ -69,381 +66,26 @@ WorldConfig WorldConfig::from_env(int nranks) {
   return c;
 }
 
-struct World::State {
-  WorldConfig cfg;
-  std::unique_ptr<trace::Tracer> tracer;
-  std::unique_ptr<base::Clock> clock;
-  base::VirtualClock* vclock = nullptr;  // aliases clock when virtual
-  // Transports and the progress registry are declared BEFORE `ranks`: VCI
-  // stage tables and sinks reference them, so the VCIs must die first.
-  std::vector<std::unique_ptr<transport::Transport>> transports;
-  /// First-match routing, compiled once: route[src * nranks + dst].
-  std::vector<transport::Transport*> route;
-  core_detail::ProgressRegistry registry;
-  std::vector<std::unique_ptr<RankCtx>> ranks;
-  std::atomic<std::int32_t> next_context_id{16};
-  std::shared_ptr<core_detail::CommImpl> world_comm;
-};
-
-namespace {
-
-// No thread-safety analysis: the guarded matcher/pool members are sized
-// here before the VCI is published, when no other thread can reach it (the
-// same construction-time exclusivity ~Vci relies on). Taking v->mu instead
-// would acquire LockRank::vci while stream_create holds the vci-table lock
-// — the reverse of the documented order.
-std::unique_ptr<Vci> make_vci(World* w, int rank, int id,
-                              unsigned mask) MPX_NO_THREAD_SAFETY_ANALYSIS {
-  auto v = std::make_unique<Vci>();
-  v->id = id;
-  v->rank = rank;
-  v->world = w;
-  v->default_mask = mask;
-  // Size the matcher and pools before the VCI is published; nobody else can
-  // hold v->mu yet.
-  const WorldConfig& cfg = w->config();
-  const auto nbins =
-      static_cast<std::size_t>(cfg.match_bins < 1 ? 1 : cfg.match_bins);
-  v->posted.init(nbins);
-  v->unexpected.init(nbins);
-  v->unexp_pool.set_max_free(static_cast<std::size_t>(
-      cfg.pool_unexp_cap < 0 ? 0 : cfg.pool_unexp_cap));
-  // Compile the published registry into this VCI's stage table. The
-  // source/mask halves never change afterwards; the embedded counters are
-  // this VCI's own.
-  v->stages = w->progress_registry().compile();
-  v->fair = cfg.progress_fair;
-  v->sink = core_detail::make_vci_sink(*v);
-  return v;
-}
-
-}  // namespace
-
-World::World(WorldConfig cfg) : s_(std::make_unique<State>()) {
-  expects(cfg.nranks >= 1, "World: nranks must be >= 1");
-  expects(cfg.max_vcis >= 1, "World: max_vcis must be >= 1");
-  if (cfg.ranks_per_node <= 0) cfg.ranks_per_node = cfg.nranks;
-  s_->cfg = cfg;
-  s_->tracer = std::make_unique<trace::Tracer>(cfg.trace_capacity);
-  if (cfg.use_virtual_clock) {
-    auto vc = std::make_unique<base::VirtualClock>();
-    s_->vclock = vc.get();
-    s_->clock = std::move(vc);
-  } else {
-    s_->clock = std::make_unique<base::SteadyClock>();
-  }
-  // Transport list, in routing order: extras first (they may claim rank
-  // pairs ahead of the builtins), then shm, then the NIC catch-all.
-  for (const auto& make : s_->cfg.extra_transports) {
-    auto t = make(*this);
-    expects(t != nullptr, "World: extra_transports factory returned null");
-    s_->transports.push_back(std::move(t));
-  }
-  for (auto& t : transport::make_builtin_transports(s_->cfg, *s_->clock)) {
-    s_->transports.push_back(std::move(t));
-  }
-  // Compile first-match routing into a flat table (reaches() must be pure).
-  s_->route.resize(static_cast<std::size_t>(cfg.nranks) * cfg.nranks, nullptr);
-  for (int src = 0; src < cfg.nranks; ++src) {
-    for (int dst = 0; dst < cfg.nranks; ++dst) {
-      for (const auto& t : s_->transports) {
-        if (t->reaches(src, dst)) {
-          s_->route[static_cast<std::size_t>(src) * cfg.nranks + dst] = t.get();
-          break;
-        }
-      }
-      expects(s_->route[static_cast<std::size_t>(src) * cfg.nranks + dst] !=
-                  nullptr,
-              "World: no transport reaches a rank pair");
-    }
-  }
-  // Progress registry: in-tree sources in Listing 1.1 order, then
-  // link-time static sources (e.g. the collective schedule executor), then
-  // extras, then one poll stage per transport. Published before the first
-  // make_vci so every VCI compiles the same immutable stage order.
-  core_detail::register_builtin_sources(s_->registry);
-  for (const auto make : core_detail::static_source_factories()) {
-    auto src = make(*this);
-    expects(src != nullptr, "World: static source factory returned null");
-    s_->registry.add(std::move(src));
-  }
-  for (const auto& make : s_->cfg.extra_sources) {
-    auto src = make(*this);
-    expects(src != nullptr, "World: extra_sources factory returned null");
-    s_->registry.add(std::move(src));
-  }
-  std::vector<transport::Transport*> tlist;
-  tlist.reserve(s_->transports.size());
-  for (const auto& t : s_->transports) tlist.push_back(t.get());
-  core_detail::register_transport_sources(s_->registry, tlist);
-  s_->registry.publish();
-  s_->ranks.reserve(static_cast<std::size_t>(cfg.nranks));
-  for (int r = 0; r < cfg.nranks; ++r) {
-    auto rc = std::make_unique<RankCtx>();
-    rc->rank = r;
-    rc->world = this;
-    rc->slots = std::vector<mc::atomic<core_detail::Vci*>>(
-        static_cast<std::size_t>(cfg.max_vcis));
-    rc->slots[0].store(make_vci(this, r, 0, progress_all).release(),
-                       std::memory_order_release);
-    rc->vci_count.store(1, std::memory_order_release);
-    s_->ranks.push_back(std::move(rc));
-  }
-  // The world communicator: context ids 0 (p2p) and 1 (collectives).
-  auto ci = std::make_shared<core_detail::CommImpl>();
-  ci->world = this;
-  ci->context_id = 0;
-  ci->coll_context_id = 1;
-  ci->group.resize(static_cast<std::size_t>(cfg.nranks));
-  ci->vcis.assign(static_cast<std::size_t>(cfg.nranks), 0);
-  ci->world_to_comm.resize(static_cast<std::size_t>(cfg.nranks));
-  for (int r = 0; r < cfg.nranks; ++r) {
-    ci->group[static_cast<std::size_t>(r)] = r;
-    ci->world_to_comm[static_cast<std::size_t>(r)] = r;
-  }
-  ci->coord = std::make_unique<core_detail::Coordinator>(cfg.nranks);
-  s_->world_comm = std::move(ci);
-}
-
 std::shared_ptr<World> World::create(WorldConfig cfg) {
   return std::shared_ptr<World>(new World(std::move(cfg)));
 }
 
-World::~World() = default;
-
-int World::size() const { return s_->cfg.nranks; }
-const WorldConfig& World::config() const { return s_->cfg; }
-double World::wtime() const { return s_->clock->now(); }
-const base::Clock& World::clock() const { return *s_->clock; }
-base::VirtualClock* World::virtual_clock() { return s_->vclock; }
+int World::size() const { return s_->ctl.cfg.nranks; }
+const WorldConfig& World::config() const { return s_->ctl.cfg; }
+double World::wtime() const { return s_->ctl.clock->now(); }
+const base::Clock& World::clock() const { return *s_->ctl.clock; }
+base::VirtualClock* World::virtual_clock() { return s_->ctl.vclock; }
+trace::Tracer& World::tracer() { return *s_->ctl.tracer; }
 
 Comm World::comm_world(int rank) {
   expects(rank >= 0 && rank < size(), "comm_world: rank out of range");
-  return Comm(s_->world_comm, rank);
+  return Comm(s_->ctl.world_comm, rank);
 }
 
 Stream World::null_stream(int rank) {
   expects(rank >= 0 && rank < size(), "null_stream: rank out of range");
   return Stream(this, rank, 0, progress_all);
 }
-
-Stream World::stream_create(int rank, const Info& info) {
-  expects(rank >= 0 && rank < size(), "stream_create: rank out of range");
-  unsigned mask = progress_all;
-  if (info.get_bool("mpx_skip_netmod", false)) mask &= ~progress_net;
-  if (info.get_bool("mpx_skip_shm", false)) mask &= ~progress_shm;
-  if (info.get_bool("mpx_skip_dtype", false)) mask &= ~progress_dtype;
-  if (info.get_bool("mpx_skip_coll", false)) mask &= ~progress_coll;
-
-  RankCtx& rc = *s_->ranks[static_cast<std::size_t>(rank)];
-  base::LockGuard<base::InstrumentedMutex> g(rc.vcis_mu);
-  // Reuse a freed slot if available. The release store publishes the fresh
-  // Vci to lock-free readers only after it is fully constructed.
-  const std::uint32_t n = rc.vci_count.load(std::memory_order_acquire);
-  for (std::uint32_t i = 1; i < n; ++i) {
-    Vci* old = rc.slots[i].load(std::memory_order_acquire);
-    if (!old->active.load(std::memory_order_acquire)) {
-      auto fresh = make_vci(this, rank, static_cast<int>(i), mask);
-      delete old;
-      rc.slots[i].store(fresh.release(), std::memory_order_release);
-      return Stream(this, rank, static_cast<int>(i), mask);
-    }
-  }
-  expects(static_cast<int>(n) < s_->cfg.max_vcis,
-          "stream_create: max_vcis exhausted (raise WorldConfig::max_vcis)");
-  const int id = static_cast<int>(n);
-  rc.slots[n].store(make_vci(this, rank, id, mask).release(),
-                    std::memory_order_release);
-  rc.vci_count.store(n + 1, std::memory_order_release);
-  return Stream(this, rank, id, mask);
-}
-
-void World::stream_free(Stream& stream) {
-  expects(stream.valid() && &stream.world() == this,
-          "stream_free: stream does not belong to this world");
-  expects(stream.vci() != 0, "stream_free: cannot free the null stream");
-  Vci& v = vci(stream.rank(), stream.vci());
-  {
-    base::LockGuard<base::InstrumentedMutex> g(v.mu);
-    expects(v.asyncs.empty() && v.coll_hooks.empty() && v.posted.empty() &&
-                v.lmt.empty() &&
-                v.active_ops.load(std::memory_order_relaxed) == 0,
-            "stream_free: stream still has pending work");
-    for (const core_detail::ProgressStage& st : v.stages) {
-      expects(st.source->quiescent(v),
-              "stream_free: a progress source still has pending work");
-    }
-#if MPX_MODEL_CHECK
-    // Seeded-mutation self-test hook: reintroduce the PR 1 bug — publishing
-    // reusability while still holding v.mu lets a concurrent stream_create
-    // destroy the mutex mid-unlock. The mc suite must catch this as a
-    // mutex-destroyed-while-held failure.
-    if (mc::mut::stream_free_publish_under_lock) {
-      v.active.store(false, std::memory_order_release);
-      stream = Stream();
-      return;
-    }
-#endif
-  }
-  // Publish reusability only AFTER the guard released v.mu: stream_create
-  // deletes the Vci as soon as it observes active == false (acquire), and
-  // the release store below is what orders that deletion after our unlock.
-  // Storing while still holding the lock let a concurrent create destroy
-  // the mutex mid-unlock (caught by the tsan preset).
-  v.active.store(false, std::memory_order_release);
-  stream = Stream();
-}
-
-void World::finalize_rank(int rank) {
-  expects(rank >= 0 && rank < size(), "finalize_rank: rank out of range");
-  RankCtx& rc = *s_->ranks[static_cast<std::size_t>(rank)];
-  // Spin progress on every live VCI of this rank until quiescent (the paper:
-  // "MPI_Finalize will spin progress until all async tasks complete").
-  for (;;) {
-    bool quiet = true;
-    // Re-read the published length each pass: stream_create may grow the
-    // table concurrently (slot storage is fixed, so no reallocation races).
-    const std::uint32_t nvcis = rc.vci_count.load(std::memory_order_acquire);
-    for (std::uint32_t i = 0; i < nvcis; ++i) {
-      Vci& v = *rc.slots[i].load(std::memory_order_acquire);
-      if (!v.active.load(std::memory_order_acquire)) continue;
-      core_detail::progress_test(v, progress_all);
-      base::LockGuard<base::InstrumentedMutex> g(v.mu);
-      bool idle =
-          v.asyncs.empty() && v.coll_hooks.empty() && v.lmt.empty() &&
-          v.pack_engine.idle() &&
-          v.active_ops.load(std::memory_order_relaxed) == 0 &&
-          v.inbox_asyncs.maybe_empty() && v.inbox_coll.maybe_empty();
-      // Registered sources may hold deferred work the member lists above
-      // don't see (e.g. a compiled collective schedule whose requests all
-      // completed but whose local reduce tail hasn't run yet).
-      for (const core_detail::ProgressStage& st : v.stages) {
-        if (!idle) break;
-        idle = st.source->quiescent(v);
-      }
-      for (const auto& t : s_->transports) {
-        if (!idle) break;
-        idle = t->idle(rank, static_cast<int>(i));
-      }
-      quiet = quiet && idle;
-    }
-    if (quiet) return;
-  }
-}
-
-core_detail::Vci* World::vci_ptr(int rank, int vci_id) const {
-  // Lock-free: two acquire loads on the progress hot path (wait/test loops
-  // resolve the VCI on every call). Writers serialize on rc.vcis_mu and
-  // publish slots/count with release stores.
-  RankCtx& rc = *s_->ranks[static_cast<std::size_t>(rank)];
-  const std::uint32_t n = rc.vci_count.load(std::memory_order_acquire);
-  expects(vci_id >= 0 && static_cast<std::uint32_t>(vci_id) < n,
-          "vci id out of range");
-  return rc.slots[static_cast<std::size_t>(vci_id)].load(
-      std::memory_order_acquire);
-}
-
-base::MutexStats World::vci_lock_stats(int rank, int vci_id) const {
-  return vci_ptr(rank, vci_id)->mu.stats();
-}
-
-std::uint64_t World::vci_progress_calls(int rank, int vci_id) const {
-  // The table lock is released before taking the VCI lock: ranks only go up.
-  Vci& v = *vci_ptr(rank, vci_id);
-  base::LockGuard<base::InstrumentedMutex> g(v.mu);
-  return v.progress_calls;
-}
-
-World::StageCounters World::vci_stage_counters(int rank, int vci_id) const {
-  Vci& v = *vci_ptr(rank, vci_id);
-  base::LockGuard<base::InstrumentedMutex> g(v.mu);
-  StageCounters c;
-  for (const core_detail::ProgressStage& st : v.stages) {
-    switch (st.mask) {
-      case progress_dtype: c.dtype += st.hits; break;
-      case progress_coll: c.coll += st.hits; break;
-      case progress_async: c.async += st.hits; break;
-      case progress_shm: c.shm += st.hits; break;
-      case progress_net: c.net += st.hits; break;
-      default: break;  // progress_user stages: vci_stage_table only
-    }
-  }
-  return c;
-}
-
-std::vector<World::StageCounter> World::vci_stage_table(int rank,
-                                                        int vci_id) const {
-  Vci& v = *vci_ptr(rank, vci_id);
-  base::LockGuard<base::InstrumentedMutex> g(v.mu);
-  std::vector<StageCounter> out;
-  out.reserve(v.stages.size());
-  for (const core_detail::ProgressStage& st : v.stages) {
-    out.push_back(StageCounter{st.source->name(), st.mask, st.calls, st.hits});
-  }
-  return out;
-}
-
-World::WaitRungCounters World::vci_wait_rungs(int rank, int vci_id) const {
-  // Lock-free like the counters themselves: rungs are relaxed accounting,
-  // not synchronization.
-  const core_detail::WaitLadderCounters::Snapshot s =
-      vci_ptr(rank, vci_id)->wait_rungs.snapshot();
-  return WaitRungCounters{s.spin, s.yield, s.sleep};
-}
-
-std::int64_t World::vci_active_ops(int rank, int vci_id) const {
-  return vci_ptr(rank, vci_id)->active_ops.load(std::memory_order_relaxed);
-}
-
-World::MatchCounters World::vci_match_counters(int rank, int vci_id) const {
-  Vci& v = *vci_ptr(rank, vci_id);
-  base::LockGuard<base::InstrumentedMutex> g(v.mu);
-  MatchCounters c;
-  c.posted = v.posted.size();
-  c.unexpected = v.unexpected.size();
-  return c;
-}
-
-base::PoolStats World::vci_unexp_pool_stats(int rank, int vci_id) const {
-  Vci& v = *vci_ptr(rank, vci_id);
-  base::LockGuard<base::InstrumentedMutex> g(v.mu);
-  return v.unexp_pool.stats();
-}
-
-std::size_t World::transport_count() const { return s_->transports.size(); }
-
-transport::Transport& World::transport_at(std::size_t i) const {
-  expects(i < s_->transports.size(), "transport_at: index out of range");
-  return *s_->transports[i];
-}
-
-transport::Transport* World::find_transport(std::string_view name) const {
-  for (const auto& t : s_->transports) {
-    if (name == t->name()) return t.get();
-  }
-  return nullptr;
-}
-
-transport::Transport& World::route(int src, int dst) const {
-  return *s_->route[static_cast<std::size_t>(src) * s_->cfg.nranks + dst];
-}
-
-const core_detail::ProgressRegistry& World::progress_registry() const {
-  return s_->registry;
-}
-
-trace::Tracer& World::tracer() { return *s_->tracer; }
-
-bool World::same_node(int a, int b) const {
-  const int rpn = s_->cfg.ranks_per_node;
-  return a / rpn == b / rpn;
-}
-
-RankCtx& World::rank_ctx(int rank) {
-  return *s_->ranks[static_cast<std::size_t>(rank)];
-}
-
-Vci& World::vci(int rank, int vci_id) { return *vci_ptr(rank, vci_id); }
 
 Request World::grequest_start(int rank, core_detail::GrequestFns fns) {
   expects(rank >= 0 && rank < size(), "grequest_start: rank out of range");
@@ -467,11 +109,6 @@ void World::grequest_complete(Request& req) {
   expects(r != nullptr && r->kind == core_detail::ReqKind::grequest,
           "grequest_complete: not a generalized request");
   core_detail::complete_request(r, Err::success);
-}
-
-std::int32_t World::alloc_context_ids(int count) {
-  expects(count >= 1, "alloc_context_ids: bad count");
-  return s_->next_context_id.fetch_add(count, std::memory_order_relaxed);
 }
 
 }  // namespace mpx

@@ -15,6 +15,12 @@
 //   - The poll itself is core_detail::vci_poll — the compiled stage table
 //     behind every progress_test call. Workers hold no lock around it and
 //     block nowhere; idle workers descend the spin/yield/sleep ladder.
+//   - Engine threads are pure DATAPATH: each poll pins the VCI's
+//     TopologySnapshot with one acquire-load (TopoRef inside the entry
+//     point) and may run concurrently with a control-plane topology swap —
+//     the RCU grace period in src/core/control_plane.cpp is what makes
+//     that safe. Nothing here may call a control-plane mutation entry
+//     point (mpxlint progress-contract enforces it for poll contexts).
 #include "mpx/task/progress_engine.hpp"
 
 #include <chrono>

@@ -133,6 +133,22 @@ def run(ctx) -> List[Finding]:
                             key=(f"{CHECK_ID}:verify:{_root_label(root)}:"
                                  f"{label}:{call.name}")))
                     continue
+                if call.name in config.PROGRESS_CONTROL_CALL_NAMES:
+                    if not ctx.allowed(fn.file, call.line, CHECK_ID):
+                        findings.append(Finding(
+                            check=CHECK_ID, file=fn.file, line=call.line,
+                            message=(f"{_root_label(root)} reaches "
+                                     f"control-plane mutation "
+                                     f"'{call.name}' via "
+                                     f"{' -> '.join(here)}: topology "
+                                     "writers take the control mutex "
+                                     "(rank below vci) and drive progress "
+                                     "while holding it — poll contexts may "
+                                     "only READ the snapshot (TopoRef "
+                                     "acquire-load)"),
+                            key=(f"{CHECK_ID}:control:{_root_label(root)}:"
+                                 f"{label}:{call.name}")))
+                    continue
                 for callee in _resolve_callees(ctx, fn, call):
                     if callee.key not in seen:
                         stack.append((callee, here))

@@ -10,6 +10,7 @@ from __future__ import annotations
 # may only acquire locks of strictly increasing rank; `none` is exempt.
 LOCK_RANKS = {
     "none": 0,
+    "control": 50,
     "vci": 100,
     "stream": 200,
     "task_queue": 300,
@@ -57,6 +58,11 @@ MODELED_FILES = (
     # The progress engine's work-stealing deque — modeled by
     # test_mc_engine_steal.cpp (steal-vs-pop last element, empty-steal ABA).
     "include/mpx/task/steal_deque.hpp",
+    # The control-plane/datapath topology seam (RCU snapshot publication,
+    # epoch quiescence, pair in-flight counters) — modeled by
+    # test_mc_topology_swap.cpp (publish/read/reclaim interleavings).
+    "include/mpx/core/topology.hpp",
+    "src/core/world_layers.hpp",
     # Fixture self-tests exercise the modeled-file rules on these. Listed
     # individually (not as a directory prefix) because the mc-coverage
     # inverse guard needs a fixture that is NOT in the modeled set
@@ -70,6 +76,7 @@ MODELED_FILES = (
     "tools/mpxlint/fixtures/unannotated_guarded.cpp",
     "tools/mpxlint/fixtures/unpaired_release.cpp",
     "tools/mpxlint/fixtures/verify_in_poll.cpp",
+    "tools/mpxlint/fixtures/topology_swap_in_poll.cpp",
 )
 
 # progress-contract: names that block (or re-enter the progress engine).
@@ -112,6 +119,16 @@ PROGRESS_VERIFIER_CALL_NAMES = {
     "verify_local",
 }
 
+# progress-contract: control-plane mutation entry points (World topology
+# publication). They take the control mutex (rank 50, BELOW vci) and drive
+# progress while holding it, so calling one from inside a poll context —
+# which already runs under a vci-ranked lock — both inverts the lock order
+# and re-enters the engine mid-swap. Snapshot *reads* (the TopoRef
+# acquire-load) are poll-safe; these writers are not.
+PROGRESS_CONTROL_CALL_NAMES = {
+    "swap_topology_for_test",
+}
+
 # progress-contract: lock ranks a progress source must never (transitively)
 # acquire. poll()/idle() already run under a `vci`-ranked lock; reaching
 # another vci/stream acquisition re-enters the progress engine — the
@@ -131,6 +148,9 @@ INTERNALLY_SYNCED_TYPES = (
     "Coordinator",
     "WaitLadderCounters",
     "StealDeque",
+    # RCU publication point: one atomic pointer, synchronized by the
+    # publish/pin/quiesce protocol in topology.hpp.
+    "TopologyHandle",
 )
 
 # Return types of well-known accessor helpers, used by the textual engine

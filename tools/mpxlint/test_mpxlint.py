@@ -136,6 +136,19 @@ class FixtureTests(unittest.TestCase):
                             for f in hits),
                         f"missed the transitive verifier call: {report}")
 
+    def test_topology_swap_call_in_poll_caught(self):
+        # Control-plane topology mutations take the control mutex (below
+        # vci) and drive progress while holding it; reaching one
+        # transitively from poll must be flagged with the path.
+        code, report = run_lint("--check", "progress-contract",
+                                self.fixture("topology_swap_in_poll.cpp"))
+        self.assertEqual(code, 1)
+        hits = findings_of(report, "progress-contract")
+        self.assertTrue(any("swap_topology_for_test" in f["message"] and
+                            "maybe_reroute" in f["message"]
+                            for f in hits),
+                        f"missed the transitive control-plane call: {report}")
+
     def test_unannotated_guarded_field_caught(self):
         code, report = run_lint("--check", "tsa-ratchet",
                                 self.fixture("unannotated_guarded.cpp"))
